@@ -1,0 +1,13 @@
+// Package enframe is a Go reproduction of "ENFrame: A Platform for
+// Processing Probabilistic Data" (van Schaik, Olteanu, Fink; EDBT 2014):
+// a platform that runs user programs written in a small Python fragment
+// over probabilistic data under possible worlds semantics, by tracing the
+// computation with events and computing exact or ε-approximate target
+// probabilities over a bulk-compiled event network.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); runnable entry points are cmd/enframe, cmd/figures, and the
+// programs under examples/. The benchmarks in this package regenerate
+// pinned points of every figure of the paper's evaluation; cmd/figures
+// sweeps the full parameter ranges.
+package enframe

@@ -1,0 +1,83 @@
+// Pctable: loadData() from a probabilistic database (§2 "Input data").
+//
+// ENFrame can pull its input objects from a positive relational algebra
+// query with aggregates over pc-tables (the paper uses the SPROUT engine;
+// internal/pctable is this repository's substrate). Two uncertain tables —
+// sensors (which may be offline) and their hourly readings (which may be
+// spurious) — are joined and filtered; the query result's tuples, each
+// carrying its lineage event, become the uncertain objects of a k-medoids
+// clustering, correlations included.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"enframe/internal/encode"
+	"enframe/internal/event"
+	"enframe/internal/pctable"
+	"enframe/internal/prob"
+)
+
+func main() {
+	space := event.NewSpace()
+	v := func(name string, p float64) event.Expr {
+		return event.NewVar(space.Add(name, p), name)
+	}
+	up2 := v("sensor2_up", 0.7) // sensor 2 may be offline
+
+	sensors := pctable.NewRelation("sensors", "sid", "station")
+	sensors.Insert(nil, pctable.Num(1), pctable.Str("north"))
+	sensors.Insert(up2, pctable.Num(2), pctable.Str("south"))
+
+	readings := pctable.NewRelation("readings", "sid", "hour", "load", "pd")
+	for h, row := range [][4]float64{
+		{1, 0, 24, 2}, {1, 1, 28, 3}, {1, 2, 71, 5}, {1, 3, 69, 4},
+		{2, 0, 26, 44}, {2, 1, 31, 48}, {2, 2, 74, 70}, {2, 3, 78, 66},
+	} {
+		readings.Insert(
+			v(fmt.Sprintf("r%d", h), 0.6+0.05*float64(h%4)),
+			pctable.Num(row[0]), pctable.Num(row[1]), pctable.Num(row[2]), pctable.Num(row[3]),
+		)
+	}
+
+	// Query: readings of online sensors, discharge-relevant hours only.
+	q := sensors.Join(readings).Select(func(get func(string) pctable.Value) bool {
+		return get("hour").F <= 3
+	})
+	fmt.Printf("query result: %d tuples\n", len(q.Tuples))
+	probs := q.TupleProb(space)
+	for i, t := range q.Tuples {
+		fmt.Printf("  %v  Φ = %-28v Pr = %.3f\n", t.Values, t.Lineage, probs[i])
+	}
+
+	// Aggregate c-value: expected number of result tuples per world.
+	fmt.Println("\ndistribution of COUNT(*) over the south station:")
+	south := q.Select(func(get func(string) pctable.Value) bool {
+		return get("station").Equal(pctable.Str("south"))
+	})
+	for _, o := range event.ExactDistribution(south.AggCount(), space, nil) {
+		fmt.Printf("  %v tuples with probability %.3f\n", o.Val, o.Prob)
+	}
+
+	// The query result becomes ENFrame's input data: cluster (load, pd).
+	objs := q.Objects("load", "pd")
+	spec := &encode.KMedoidsSpec{
+		Objects: objs, Space: space, K: 2, Iter: 3,
+		Targets: encode.TargetsMedoids,
+	}
+	net, err := spec.Network()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prob.Compile(net, prob.Options{Strategy: prob.Exact})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmedoid probabilities over the query result (exact):")
+	for _, tb := range res.Targets {
+		if tb.Estimate() > 0.05 {
+			fmt.Printf("  %s = %.4f\n", tb.Name, tb.Estimate())
+		}
+	}
+}

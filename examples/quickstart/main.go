@@ -1,0 +1,86 @@
+// Quickstart: the paper's Example 1, end to end.
+//
+// Four objects o0..o3 on a line with the lineage of Example 1:
+//
+//	Φ(o0) = x1 ∨ x3,  Φ(o1) = x2,  Φ(o2) = x3,  Φ(o3) = ¬x2 ∧ x4
+//
+// We cluster them with probabilistic k-medoids (k = 2) under possible
+// worlds semantics — the result is equivalent to running k-medoids in every
+// possible world separately ("the golden standard"), without enumerating
+// the worlds — and ask Example 1's query: "are o1 and o2 in the same
+// cluster?".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"enframe/internal/encode"
+	"enframe/internal/event"
+	"enframe/internal/lineage"
+	"enframe/internal/prob"
+	"enframe/internal/vec"
+)
+
+func main() {
+	// Independent Boolean random variables with their probabilities.
+	space := event.NewSpace()
+	x1 := event.NewVar(space.Add("x1", 0.7), "x1")
+	x2 := event.NewVar(space.Add("x2", 0.6), "x2")
+	x3 := event.NewVar(space.Add("x3", 0.5), "x3")
+	x4 := event.NewVar(space.Add("x4", 0.8), "x4")
+
+	// Objects on a line, as drawn in Example 1. Lineage events encode
+	// arbitrary correlations: o3 exists only when o1 does not (they are
+	// contradicting readings and never share a world, let alone a
+	// cluster).
+	objs := []lineage.Object{
+		{ID: 0, Pos: vec.New(0), Lineage: event.NewOr(x1, x3)},
+		{ID: 1, Pos: vec.New(2), Lineage: x2},
+		{ID: 2, Pos: vec.New(7), Lineage: x3},
+		{ID: 3, Pos: vec.New(9), Lineage: event.NewAnd(event.NewNot(x2), x4)},
+	}
+
+	spec := &encode.KMedoidsSpec{
+		Objects: objs,
+		Space:   space,
+		K:       2,
+		Iter:    3,
+		Init:    []int{1, 3}, // initial medoids o1 and o3, as in Example 1
+		Targets: encode.TargetsMedoids,
+	}
+	net, err := spec.Network()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prob.Compile(net, prob.Options{Strategy: prob.Exact})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("event network: %d nodes over %d variables\n\n", net.NumNodes(), space.Len())
+	fmt.Println("medoid probabilities (exact):")
+	for i := 0; i < spec.K; i++ {
+		for l := range objs {
+			tb, _ := res.Target(fmt.Sprintf("Centre[%d][%d]", i, l))
+			fmt.Printf("  Pr[o%d is the medoid of cluster %d] = %.4f\n", l, i, tb.Estimate())
+		}
+	}
+
+	// Example 1's query, as a co-occurrence target over the same task.
+	spec.Targets = encode.TargetsCoOccurrence
+	spec.Pairs = [][2]int{{1, 2}, {1, 3}}
+	coNet, err := spec.Network()
+	if err != nil {
+		log.Fatal(err)
+	}
+	coRes, err := prob.Compile(coNet, prob.Options{Strategy: prob.Exact})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nco-occurrence queries (exact):")
+	for _, tb := range coRes.Targets {
+		fmt.Printf("  Pr[%s] = %.4f\n", tb.Name, tb.Estimate())
+	}
+	fmt.Println("\nNote Pr[CoOcc[1][3]] = 0: o1 and o3 are mutually exclusive readings —")
+	fmt.Println("ignoring that correlation would wrongly put them in one cluster (§1).")
+}

@@ -1,0 +1,3 @@
+module enframe
+
+go 1.22

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"enframe/internal/event"
+	"enframe/internal/vec"
+)
+
+func twoBlobs(rng *rand.Rand, n int) []vec.Vec {
+	pts := make([]vec.Vec, n)
+	for i := range pts {
+		cx := 0.0
+		if i >= n/2 {
+			cx = 100
+		}
+		pts[i] = vec.New(cx+rng.Float64()*5, rng.Float64()*5)
+	}
+	return pts
+}
+
+func TestKMedoidsSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 20
+	pts := twoBlobs(rng, n)
+	r := KMedoids(pts, nil, 2, 4, []int{0, n - 1}, nil)
+	for l := 0; l < n; l++ {
+		wantCluster := 0
+		if l >= n/2 {
+			wantCluster = 1
+		}
+		if !r.InCl[wantCluster][l] {
+			t.Errorf("object %d not in cluster %d", l, wantCluster)
+		}
+		if r.InCl[1-wantCluster][l] {
+			t.Errorf("object %d in both clusters", l)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		medoids := 0
+		for l := 0; l < n; l++ {
+			if r.Centre[i][l] {
+				medoids++
+				if !r.InCl[i][l] {
+					t.Errorf("medoid %d of cluster %d is not a member", l, i)
+				}
+			}
+		}
+		if medoids != 1 {
+			t.Errorf("cluster %d has %d medoids", i, medoids)
+		}
+	}
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 20
+	pts := twoBlobs(rng, n)
+	r := KMeans(pts, nil, 2, 4, []int{0, n - 1}, nil)
+	for l := 0; l < n; l++ {
+		wantCluster := 0
+		if l >= n/2 {
+			wantCluster = 1
+		}
+		if !r.InCl[wantCluster][l] {
+			t.Errorf("object %d not in cluster %d", l, wantCluster)
+		}
+	}
+	for i, c := range r.Centroids {
+		if c.Kind != event.Vector {
+			t.Fatalf("centroid %d is %v", i, c)
+		}
+	}
+	if r.Centroids[0].V[0] > 50 || r.Centroids[1].V[0] < 50 {
+		t.Errorf("centroids %v / %v not separated", r.Centroids[0], r.Centroids[1])
+	}
+}
+
+func TestAbsentObjectsIgnored(t *testing.T) {
+	pts := []vec.Vec{vec.New(0), vec.New(1), vec.New(50), vec.New(51)}
+	present := []bool{true, false, true, true}
+	r := KMedoids(pts, present, 2, 3, []int{0, 2}, nil)
+	for i := 0; i < 2; i++ {
+		if r.InCl[i][1] || r.Centre[i][1] {
+			t.Errorf("absent object assigned or elected in cluster %d", i)
+		}
+	}
+}
+
+func TestAbsentInitialMedoid(t *testing.T) {
+	// The cluster with an absent initial medoid has an undefined medoid;
+	// comparisons against u hold, so every object lands in the first
+	// cluster after tie-breaking.
+	pts := []vec.Vec{vec.New(0), vec.New(1), vec.New(2)}
+	present := []bool{true, true, false}
+	r := KMedoids(pts, present, 2, 1, []int{2, 0}, nil)
+	if !r.InCl[0][0] || !r.InCl[0][1] {
+		t.Errorf("objects should fall into cluster 0 (undefined medoid): %v", r.InCl)
+	}
+}
+
+func TestEmptyWorld(t *testing.T) {
+	pts := []vec.Vec{vec.New(0), vec.New(1)}
+	present := []bool{false, false}
+	r := KMedoids(pts, present, 2, 2, []int{0, 1}, nil)
+	for i := range r.Centre {
+		for l := range r.Centre[i] {
+			if r.Centre[i][l] || r.InCl[i][l] {
+				t.Error("empty world must produce no assignments")
+			}
+		}
+	}
+}
+
+func TestBreakTies(t *testing.T) {
+	m := [][]bool{
+		{true, true, false},
+		{true, false, true},
+	}
+	breakTies2(m) // keep first true per column
+	want := [][]bool{
+		{true, true, false},
+		{false, false, true},
+	}
+	for i := range want {
+		for l := range want[i] {
+			if m[i][l] != want[i][l] {
+				t.Fatalf("breakTies2[%d][%d] = %t", i, l, m[i][l])
+			}
+		}
+	}
+	m2 := [][]bool{{true, true, false}, {false, true, true}}
+	breakTies1(m2) // keep first true per row
+	if !m2[0][0] || m2[0][1] || m2[1][2] || !m2[1][1] {
+		t.Fatalf("breakTies1 = %v", m2)
+	}
+}
+
+func TestMCLTwoTriangles(t *testing.T) {
+	// Two triangles bridged by one edge; MCL separates them.
+	w := make([][]float64, 6)
+	for i := range w {
+		w[i] = make([]float64, 6)
+		w[i][i] = 1
+	}
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 2}, {3, 4}, {3, 5}, {4, 5}, {2, 3}} {
+		w[e[0]][e[1]], w[e[1]][e[0]] = 1, 1
+	}
+	r := MCL(MCLFromWeights(w), 2, 6)
+	if !r.SameCluster(0, 1, 0.05) || !r.SameCluster(1, 2, 0.05) {
+		t.Error("first triangle not clustered together")
+	}
+	if !r.SameCluster(3, 4, 0.05) || !r.SameCluster(4, 5, 0.05) {
+		t.Error("second triangle not clustered together")
+	}
+	if r.SameCluster(0, 5, 0.05) {
+		t.Error("triangles merged")
+	}
+}
+
+func TestMCLStochasticRows(t *testing.T) {
+	// After inflation each normalised row of defined entries sums to 1.
+	w := [][]float64{{1, 0.5}, {0.5, 1}}
+	r := MCL(MCLFromWeights(w), 2, 3)
+	for i := range r.M {
+		sum := 0.0
+		for j := range r.M[i] {
+			if r.M[i][j].Kind == event.Scalar {
+				sum += r.M[i][j].S
+			}
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("row %d sums to %g", i, sum)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package cluster implements the three clustering algorithms of the paper
+// (§2.1) — k-medoids, k-means, and Markov clustering — as deterministic,
+// per-world procedures that follow the user programs of Figures 1–3 exactly,
+// including the undefined-value semantics of §3.2 (distances to an undefined
+// medoid compare as true, empty reductions are undefined, ties break towards
+// the first index). The naïve possible-worlds baseline iterates these over
+// all valuations.
+package cluster
+
+import (
+	"enframe/internal/event"
+	"enframe/internal/vec"
+)
+
+// KMedoidsResult holds the final state of one k-medoids run: cluster
+// membership and medoid selection per (cluster, object), indexed by the
+// original object ids. Entries for absent objects are false.
+type KMedoidsResult struct {
+	// InCl[i][l] reports that object l is assigned to cluster i.
+	InCl [][]bool
+	// Centre[i][l] reports that object l is the medoid of cluster i.
+	Centre [][]bool
+}
+
+// KMedoids runs the user program of Figure 1 on the objects marked present,
+// with initial medoids init (object indices; an absent initial medoid makes
+// that cluster's medoid undefined, as Φ(o_π(i)) ⊗ o_π(i) evaluates to u).
+// A nil present slice means all objects exist.
+func KMedoids(points []vec.Vec, present []bool, k, iter int, init []int, metric vec.Distance) KMedoidsResult {
+	if metric == nil {
+		metric = vec.Euclidean
+	}
+	n := len(points)
+	if present == nil {
+		present = allPresent(n)
+	}
+
+	// Medoids as extended values: a position or u.
+	medoids := make([]event.Value, k)
+	for i := 0; i < k; i++ {
+		if present[init[i]] {
+			medoids[i] = event.Vect(points[init[i]])
+		} else {
+			medoids[i] = event.U
+		}
+	}
+
+	inCl := newBoolMatrix(k, n)
+	centre := newBoolMatrix(k, n)
+	distSum := make([][]event.Value, k)
+	for i := range distSum {
+		distSum[i] = make([]event.Value, n)
+	}
+
+	for it := 0; it < iter; it++ {
+		// Assignment phase: InCl[i][l] = ⋀_j [dist(O_l, M_i) ≤ dist(O_l, M_j)].
+		for i := 0; i < k; i++ {
+			for l := 0; l < n; l++ {
+				if !present[l] {
+					inCl[i][l] = false
+					continue
+				}
+				ol := event.Vect(points[l])
+				di := event.DistVal(metric, ol, medoids[i])
+				in := true
+				for j := 0; j < k; j++ {
+					dj := event.DistVal(metric, ol, medoids[j])
+					if !event.Compare(event.LE, di, dj) {
+						in = false
+						break
+					}
+				}
+				inCl[i][l] = in
+			}
+		}
+		breakTies2(inCl)
+
+		// Update phase: DistSum[i][l] = Σ_{p: InCl[i][p]} dist(O_l, O_p).
+		for i := 0; i < k; i++ {
+			for l := 0; l < n; l++ {
+				if !present[l] {
+					distSum[i][l] = event.U
+					continue
+				}
+				sum := event.U
+				for p := 0; p < n; p++ {
+					if inCl[i][p] {
+						sum = event.Add(sum, event.DistVal(metric, event.Vect(points[l]), event.Vect(points[p])))
+					}
+				}
+				distSum[i][l] = sum
+			}
+		}
+		// Centre[i][l] = ⋀_p [DistSum[i][l] ≤ DistSum[i][p]], over present
+		// objects only (the event encoding guards absent competitors).
+		for i := 0; i < k; i++ {
+			for l := 0; l < n; l++ {
+				if !present[l] {
+					centre[i][l] = false
+					continue
+				}
+				c := true
+				for p := 0; p < n; p++ {
+					if !present[p] {
+						continue
+					}
+					if !event.Compare(event.LE, distSum[i][l], distSum[i][p]) {
+						c = false
+						break
+					}
+				}
+				centre[i][l] = c
+			}
+		}
+		breakTies1(centre)
+
+		// Elect new medoids: M[i] = Σ_{l: Centre[i][l]} O_l (exactly one
+		// term after tie-breaking, or u for an empty selection).
+		for i := 0; i < k; i++ {
+			m := event.U
+			for l := 0; l < n; l++ {
+				if centre[i][l] {
+					m = event.Add(m, event.Vect(points[l]))
+				}
+			}
+			medoids[i] = m
+		}
+	}
+	return KMedoidsResult{InCl: inCl, Centre: centre}
+}
+
+// breakTies2 keeps, for each fixed object l, only the first cluster i with
+// M[i][l] true (§2.2).
+func breakTies2(m [][]bool) {
+	if len(m) == 0 {
+		return
+	}
+	for l := 0; l < len(m[0]); l++ {
+		seen := false
+		for i := 0; i < len(m); i++ {
+			if m[i][l] {
+				if seen {
+					m[i][l] = false
+				}
+				seen = true
+			}
+		}
+	}
+}
+
+// breakTies1 keeps, for each fixed cluster i, only the first object l with
+// M[i][l] true (§2.2).
+func breakTies1(m [][]bool) {
+	for i := range m {
+		seen := false
+		for l := range m[i] {
+			if m[i][l] {
+				if seen {
+					m[i][l] = false
+				}
+				seen = true
+			}
+		}
+	}
+}
+
+func newBoolMatrix(k, n int) [][]bool {
+	m := make([][]bool, k)
+	for i := range m {
+		m[i] = make([]bool, n)
+	}
+	return m
+}
+
+func allPresent(n int) []bool {
+	p := make([]bool, n)
+	for i := range p {
+		p[i] = true
+	}
+	return p
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"enframe/internal/event"
+)
+
+// MCLResult is the final stochastic matrix of a Markov clustering run.
+type MCLResult struct {
+	// M[i][j] is the flow from node j towards attractor i (u when the
+	// column normalisation was undefined).
+	M [][]event.Value
+}
+
+// MCL runs the user program of Figure 3: iter alternations of expansion
+// (matrix squaring) and inflation (Hadamard power r followed by column
+// rescaling). Entries are extended values so that undefined input entries
+// propagate per §3.2 (in particular a zero normalisation sum inverts to u).
+func MCL(m [][]event.Value, r, iter int) MCLResult {
+	n := len(m)
+	cur := make([][]event.Value, n)
+	for i := range cur {
+		cur[i] = append([]event.Value(nil), m[i]...)
+	}
+	next := make([][]event.Value, n)
+	for i := range next {
+		next[i] = make([]event.Value, n)
+	}
+	for it := 0; it < iter; it++ {
+		// Expansion: N[i][j] = Σ_k M[i][k] · M[k][j].
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				sum := event.U
+				for k := 0; k < n; k++ {
+					sum = event.Add(sum, event.Mul(cur[i][k], cur[k][j]))
+				}
+				next[i][j] = sum
+			}
+		}
+		// Inflation: M[i][j] = N[i][j]^r · (Σ_k N[i][k]^r)⁻¹.
+		//
+		// Figure 3 normalises along k of N[i][k]; with the convention that
+		// M[i][j] is the flow from j to i this is the column sum of the
+		// transposed orientation — we follow the program text literally.
+		for i := 0; i < n; i++ {
+			norm := event.U
+			for k := 0; k < n; k++ {
+				norm = event.Add(norm, event.PowVal(next[i][k], r))
+			}
+			inv := event.Inv(norm)
+			for j := 0; j < n; j++ {
+				cur[i][j] = event.Mul(event.PowVal(next[i][j], r), inv)
+			}
+		}
+	}
+	return MCLResult{M: cur}
+}
+
+// MCLFromWeights builds the extended-value matrix of certain edge weights.
+func MCLFromWeights(w [][]float64) [][]event.Value {
+	m := make([][]event.Value, len(w))
+	for i := range w {
+		m[i] = make([]event.Value, len(w[i]))
+		for j := range w[i] {
+			m[i][j] = event.Num(w[i][j])
+		}
+	}
+	return m
+}
+
+// Attractor returns the node that dominates node i's flow (the argmax of
+// row i), or -1 when the row is entirely undefined. After convergence the
+// attractor identifies i's cluster.
+func (r MCLResult) Attractor(i int) int {
+	best, bestFlow := -1, 0.0
+	for j := range r.M[i] {
+		if f := r.M[i][j]; f.Kind == event.Scalar && f.S > bestFlow {
+			best, bestFlow = j, f.S
+		}
+	}
+	return best
+}
+
+// SameCluster reports whether nodes i and j share an attractor whose flow
+// exceeds the threshold in both rows.
+func (r MCLResult) SameCluster(i, j int, threshold float64) bool {
+	ai := r.Attractor(i)
+	if ai < 0 || ai != r.Attractor(j) {
+		return false
+	}
+	fi, fj := r.M[i][ai], r.M[j][ai]
+	return fi.Kind == event.Scalar && fj.Kind == event.Scalar &&
+		fi.S > threshold && fj.S > threshold
+}

@@ -1,0 +1,124 @@
+// Package core is the ENFrame platform facade: it takes a user program (the
+// Python fragment of §2), probabilistic input data, and a set of target
+// events, and runs the full pipeline — parse → validate → translate to an
+// event program (§3) → ground into an event network (§4.1) → compute exact
+// or ε-approximate probabilities (§4). Users stay oblivious to the
+// probabilistic nature of the input: the same program runs deterministically
+// through internal/interp and probabilistically through this package.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"enframe/internal/event"
+	"enframe/internal/lang"
+	"enframe/internal/lineage"
+	"enframe/internal/network"
+	"enframe/internal/prob"
+	"enframe/internal/translate"
+	"enframe/internal/vec"
+)
+
+// Spec describes one ENFrame run.
+type Spec struct {
+	// Source is the user program text.
+	Source string
+	// Objects are the uncertain input data points backing loadData();
+	// Space is the variable space their lineage ranges over.
+	Objects []lineage.Object
+	Space   *event.Space
+	// Params backs loadParams() in binding order.
+	Params []int
+	// InitIndices backs init().
+	InitIndices []int
+	// Matrix backs a third loadData() binding (Markov clustering).
+	Matrix [][]float64
+	// Metric is the distance measure for dist(); nil means Euclidean.
+	Metric vec.Distance
+	// Targets selects the program variables whose final events become
+	// compilation targets. Entries are flattened element symbols
+	// ("Centre[0][2]") or prefixes ending in "[" ("Centre[") matching all
+	// elements; they must be Boolean-valued.
+	Targets []string
+	// Compile configures the probability computation.
+	Compile prob.Options
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	// Result holds per-target probability bounds and compilation stats.
+	Result *prob.Result
+	// Events is the translated event program (§3.4).
+	Events *event.Program
+	// Net is the grounded event network the compiler ran on.
+	Net *network.Net
+	// Translation exposes the final symbolic bindings.
+	Translation *translate.Result
+}
+
+// Run executes the full ENFrame pipeline.
+func Run(spec Spec) (*Report, error) {
+	prog, err := lang.Parse(spec.Source)
+	if err != nil {
+		return nil, fmt.Errorf("core: parse: %w", err)
+	}
+	res, err := translate.Translate(prog, translate.External{
+		Objects:     spec.Objects,
+		Space:       spec.Space,
+		Matrix:      spec.Matrix,
+		Params:      spec.Params,
+		InitIndices: spec.InitIndices,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: translate: %w", err)
+	}
+	targets, err := expandTargets(res, spec.Targets)
+	if err != nil {
+		return nil, err
+	}
+	b := network.NewBuilder(spec.Space, spec.Metric)
+	for _, sym := range targets {
+		e, ok := res.BoolEvent(sym)
+		if !ok {
+			return nil, fmt.Errorf("core: target %q is not a Boolean program variable", sym)
+		}
+		b.Target(sym, b.AddExpr(e))
+	}
+	net := b.Build()
+	pr, err := prob.Compile(net, spec.Compile)
+	if err != nil {
+		return nil, fmt.Errorf("core: compile: %w", err)
+	}
+	return &Report{Result: pr, Events: res.Program, Net: net, Translation: res}, nil
+}
+
+// expandTargets resolves target patterns against the translated bindings.
+func expandTargets(res *translate.Result, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("core: no targets requested")
+	}
+	var out []string
+	for _, pat := range patterns {
+		if strings.HasSuffix(pat, "[") || !strings.Contains(pat, "[") {
+			prefix := strings.TrimSuffix(pat, "[") + "["
+			matches := res.SymbolsWithPrefix(prefix)
+			if len(matches) == 0 {
+				return nil, fmt.Errorf("core: no program variables match target pattern %q", pat)
+			}
+			out = append(out, matches...)
+			continue
+		}
+		out = append(out, pat)
+	}
+	sort.Strings(out)
+	// Deduplicate.
+	uniq := out[:0]
+	for i, s := range out {
+		if i == 0 || out[i-1] != s {
+			uniq = append(uniq, s)
+		}
+	}
+	return uniq, nil
+}

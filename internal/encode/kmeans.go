@@ -1,0 +1,127 @@
+package encode
+
+import (
+	"fmt"
+
+	"enframe/internal/event"
+	"enframe/internal/lineage"
+	"enframe/internal/network"
+	"enframe/internal/vec"
+)
+
+// KMeansSpec describes one probabilistic k-means task (Figure 2). Unlike
+// k-medoids, the cluster centroids are true vector-valued c-values —
+// (Σ InCl ⊗ 1)⁻¹ · (Σ InCl ∧ O_l) — so the network contains vector sums,
+// inversions, products, and dist nodes; the masking compiler handles these
+// conservatively (they decide once their inputs do), which keeps exact
+// compilation correct but gives it fewer early decisions than k-medoids.
+type KMeansSpec struct {
+	Objects []lineage.Object
+	Space   *event.Space
+	K, Iter int
+	// Init holds the initial centroid object indices; nil picks the
+	// first K objects.
+	Init   []int
+	Metric vec.Distance
+}
+
+func (sp *KMeansSpec) init() []int {
+	if sp.Init != nil {
+		return sp.Init
+	}
+	init := make([]int, sp.K)
+	for i := range init {
+		init[i] = i
+	}
+	return init
+}
+
+// TargetNames lists the assignment targets InCl[i][l] of the final
+// iteration in network order.
+func (sp *KMeansSpec) TargetNames() []string {
+	var names []string
+	for i := 0; i < sp.K; i++ {
+		for l := range sp.Objects {
+			names = append(names, fmt.Sprintf("InCl[%d][%d]", i, l))
+		}
+	}
+	return names
+}
+
+// Network compiles the guarded k-means encoding: per world it equals
+// running Figure 2's program on the objects present in that world.
+func (sp *KMeansSpec) Network() (*network.Net, error) {
+	n := len(sp.Objects)
+	if n == 0 {
+		return nil, fmt.Errorf("encode: no objects")
+	}
+	if sp.K <= 0 || sp.K > n {
+		return nil, fmt.Errorf("encode: k = %d out of range for %d objects", sp.K, n)
+	}
+	if sp.Iter <= 0 {
+		return nil, fmt.Errorf("encode: iter = %d must be positive", sp.Iter)
+	}
+	metric := sp.Metric
+	if metric == nil {
+		metric = vec.Euclidean
+	}
+	b := network.NewBuilder(sp.Space, metric)
+
+	phi := make([]network.NodeID, n)
+	obj := make([]network.NodeID, n)
+	for l, o := range sp.Objects {
+		phi[l] = b.AddExpr(o.Lineage)
+		obj[l] = b.CondVal(phi[l], event.Vect(o.Pos))
+	}
+
+	// Initial centroids: Φ(o_π(i)) ⊗ o_π(i).
+	centroid := make([]network.NodeID, sp.K)
+	for i, ix := range sp.init() {
+		centroid[i] = obj[ix]
+	}
+
+	var inClT [][]network.NodeID
+	for it := 0; it < sp.Iter; it++ {
+		// Assignment: InCl[i][l] = Φ_l ∧ ⋀_j [dist(O_l, M_i) ≤ dist(O_l, M_j)].
+		dM := make([][]network.NodeID, sp.K)
+		for i := 0; i < sp.K; i++ {
+			dM[i] = make([]network.NodeID, n)
+			for l := 0; l < n; l++ {
+				dM[i][l] = b.Dist(obj[l], centroid[i])
+			}
+		}
+		inCl := makeMatrix(sp.K, n)
+		for i := 0; i < sp.K; i++ {
+			for l := 0; l < n; l++ {
+				conj := make([]network.NodeID, 0, sp.K)
+				conj = append(conj, phi[l])
+				for j := 0; j < sp.K; j++ {
+					if j == i {
+						continue
+					}
+					conj = append(conj, b.Cmp(event.LE, dM[i][l], dM[j][l]))
+				}
+				inCl[i][l] = b.And(conj...)
+			}
+		}
+		inClT = breakTies2Net(b, inCl)
+
+		// Update: M_i = (Σ_l InCl[i][l] ⊗ 1)⁻¹ · (Σ_l InCl[i][l] ∧ O_l).
+		for i := 0; i < sp.K; i++ {
+			counts := make([]network.NodeID, n)
+			sums := make([]network.NodeID, n)
+			for l := 0; l < n; l++ {
+				counts[l] = b.CondVal(inClT[i][l], event.Num(1))
+				sums[l] = b.Guard(inClT[i][l], obj[l])
+			}
+			centroid[i] = b.Prod(b.Inv(b.Sum(counts...)), b.Sum(sums...))
+		}
+	}
+
+	for i := 0; i < sp.K; i++ {
+		for l := range sp.Objects {
+			b.Target(fmt.Sprintf("InCl[%d][%d]", i, l), inClT[i][l])
+		}
+	}
+	return b.Build(), nil
+}

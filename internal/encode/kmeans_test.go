@@ -1,0 +1,90 @@
+package encode
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"enframe/internal/cluster"
+	"enframe/internal/event"
+	"enframe/internal/lineage"
+	"enframe/internal/prob"
+	"enframe/internal/vec"
+	"enframe/internal/worlds"
+)
+
+// TestKMeansWorldEquivalence checks the guarded k-means encoding against
+// per-world execution of the deterministic algorithm, for every world.
+func TestKMeansWorldEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	schemes := []lineage.Scheme{lineage.Independent, lineage.Positive, lineage.Mutex, lineage.Conditional}
+	for trial := 0; trial < 12; trial++ {
+		n := 4 + rng.Intn(3)
+		pts := make([]vec.Vec, n)
+		for i := range pts {
+			pts[i] = vec.New(float64(rng.Intn(20)), float64(rng.Intn(20)))
+		}
+		objs, space, err := lineage.Attach(pts, lineage.Config{
+			Scheme: schemes[trial%4], GroupSize: 2, NumVars: 4, L: 2, M: 3, Seed: rng.Int63(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := &KMeansSpec{
+			Objects: objs, Space: space, K: 2, Iter: 1 + rng.Intn(2),
+			Metric: vec.SquaredEuclidean,
+		}
+		net, err := sp.Network()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Expected probabilities by world enumeration of the
+		// deterministic algorithm.
+		want := make([]float64, 2*n)
+		evs := lineage.Events(objs)
+		worlds.Enumerate(space, func(nu event.SliceValuation, p float64) bool {
+			present := worlds.Presence(evs, nu)
+			r := cluster.KMeans(pts, present, sp.K, sp.Iter, sp.init(), vec.SquaredEuclidean)
+			for i := 0; i < sp.K; i++ {
+				for l := 0; l < n; l++ {
+					if r.InCl[i][l] {
+						want[i*n+l] += p
+					}
+				}
+			}
+			return true
+		})
+		res, err := prob.Compile(net, prob.Options{Strategy: prob.Exact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < sp.K; i++ {
+			for l := 0; l < n; l++ {
+				tb, ok := res.Target(fmt.Sprintf("InCl[%d][%d]", i, l))
+				if !ok {
+					t.Fatalf("missing target InCl[%d][%d]", i, l)
+				}
+				if tb.Gap() > 1e-9 {
+					t.Fatalf("trial %d: %s did not converge", trial, tb.Name)
+				}
+				if d := tb.Lower - want[i*n+l]; d > 1e-9 || d < -1e-9 {
+					t.Fatalf("trial %d: %s: compiled %g vs per-world %g",
+						trial, tb.Name, tb.Lower, want[i*n+l])
+				}
+			}
+		}
+	}
+}
+
+func TestKMeansSpecValidation(t *testing.T) {
+	if _, err := (&KMeansSpec{Space: event.NewSpace()}).Network(); err == nil {
+		t.Error("empty spec must fail")
+	}
+	objs := lineage.Certain([]vec.Vec{vec.New(0), vec.New(1)})
+	if _, err := (&KMeansSpec{Objects: objs, Space: event.NewSpace(), K: 5, Iter: 1}).Network(); err == nil {
+		t.Error("k > n must fail")
+	}
+	if _, err := (&KMeansSpec{Objects: objs, Space: event.NewSpace(), K: 2, Iter: 0}).Network(); err == nil {
+		t.Error("iter = 0 must fail")
+	}
+}

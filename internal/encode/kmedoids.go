@@ -1,0 +1,317 @@
+// Package encode translates the three clustering algorithms of §2.1 into
+// event networks whose per-world semantics provably equals running the
+// algorithm on the objects present in that world (the paper's "golden
+// standard"). The encodings follow Figures 1–3 with the existence guards
+// spelled out (see DESIGN.md "Encoding notes"): absent objects belong to no
+// cluster, compete for no medoid, and distances to a medoid expand over the
+// medoid-selector events so the networks stay in the Σ-of-guarded-constants
+// fragment that the masking compiler handles incrementally.
+package encode
+
+import (
+	"fmt"
+
+	"enframe/internal/event"
+	"enframe/internal/lineage"
+	"enframe/internal/network"
+	"enframe/internal/vec"
+)
+
+// TargetSet selects which events become compilation targets.
+type TargetSet uint8
+
+const (
+	// TargetsMedoids targets the medoid-selection events Centre[i][l] of
+	// the final iteration (the paper's benchmark target set).
+	TargetsMedoids TargetSet = iota
+	// TargetsAssignment targets the object–cluster assignment events
+	// InCl[i][l] of the final iteration.
+	TargetsAssignment
+	// TargetsCoOccurrence targets "are objects l and l' in the same
+	// cluster?" events for the configured pairs.
+	TargetsCoOccurrence
+)
+
+func (t TargetSet) String() string {
+	switch t {
+	case TargetsMedoids:
+		return "medoids"
+	case TargetsAssignment:
+		return "assignment"
+	case TargetsCoOccurrence:
+		return "cooccurrence"
+	}
+	return fmt.Sprintf("TargetSet(%d)", uint8(t))
+}
+
+// KMedoidsSpec describes one probabilistic k-medoids task.
+type KMedoidsSpec struct {
+	Objects []lineage.Object
+	Space   *event.Space
+	K, Iter int
+	// Init holds the initial medoid object indices π(0..k-1); nil picks
+	// the first K objects.
+	Init   []int
+	Metric vec.Distance
+	// Targets selects the compilation target set; Pairs configures the
+	// co-occurrence pairs (nil targets consecutive pairs (0,1), (2,3), …).
+	Targets TargetSet
+	Pairs   [][2]int
+}
+
+func (sp *KMedoidsSpec) init() []int {
+	if sp.Init != nil {
+		return sp.Init
+	}
+	init := make([]int, sp.K)
+	for i := range init {
+		init[i] = i
+	}
+	return init
+}
+
+func (sp *KMedoidsSpec) metric() vec.Distance {
+	if sp.Metric == nil {
+		return vec.Euclidean
+	}
+	return sp.Metric
+}
+
+func (sp *KMedoidsSpec) pairs() [][2]int {
+	if sp.Pairs != nil {
+		return sp.Pairs
+	}
+	var ps [][2]int
+	for l := 0; l+1 < len(sp.Objects); l += 2 {
+		ps = append(ps, [2]int{l, l + 1})
+	}
+	return ps
+}
+
+// TargetName renders the canonical name of a target event; the naïve
+// baseline and the compiled network use identical names and ordering.
+func (sp *KMedoidsSpec) TargetNames() []string {
+	var names []string
+	switch sp.Targets {
+	case TargetsMedoids:
+		for i := 0; i < sp.K; i++ {
+			for l := range sp.Objects {
+				names = append(names, fmt.Sprintf("Centre[%d][%d]", i, l))
+			}
+		}
+	case TargetsAssignment:
+		for i := 0; i < sp.K; i++ {
+			for l := range sp.Objects {
+				names = append(names, fmt.Sprintf("InCl[%d][%d]", i, l))
+			}
+		}
+	case TargetsCoOccurrence:
+		for _, p := range sp.pairs() {
+			names = append(names, fmt.Sprintf("CoOcc[%d][%d]", p[0], p[1]))
+		}
+	}
+	return names
+}
+
+// Network compiles the spec into an event network with targets registered.
+func (sp *KMedoidsSpec) Network() (*network.Net, error) {
+	if err := sp.validate(); err != nil {
+		return nil, err
+	}
+	n := len(sp.Objects)
+	k := sp.K
+	metric := sp.metric()
+	b := network.NewBuilder(sp.Space, metric)
+
+	// Existence events and the constant distance matrix.
+	phi := make([]network.NodeID, n)
+	for l, o := range sp.Objects {
+		phi[l] = b.AddExpr(o.Lineage)
+	}
+	d := distanceMatrix(lineage.Positions(sp.Objects), metric)
+
+	// dM[i][l]: the c-value dist(O_l, M_i) of the current medoids,
+	// initialised from π: Φ(o_π(i)) ⊗ d(o_l, o_π(i)).
+	dM := make([][]network.NodeID, k)
+	init := sp.init()
+	for i := 0; i < k; i++ {
+		dM[i] = make([]network.NodeID, n)
+		for l := 0; l < n; l++ {
+			dM[i][l] = b.CondVal(phi[init[i]], event.Num(d[l][init[i]]))
+		}
+	}
+
+	var inClT, centreT [][]network.NodeID
+	for it := 0; it < sp.Iter; it++ {
+		// Assignment: InCl[i][l] = Φ_l ∧ ⋀_j [dM[i][l] ≤ dM[j][l]].
+		inCl := makeMatrix(k, n)
+		for i := 0; i < k; i++ {
+			for l := 0; l < n; l++ {
+				conj := make([]network.NodeID, 0, k)
+				conj = append(conj, phi[l])
+				for j := 0; j < k; j++ {
+					if j == i {
+						continue
+					}
+					conj = append(conj, b.Cmp(event.LE, dM[i][l], dM[j][l]))
+				}
+				inCl[i][l] = b.And(conj...)
+			}
+		}
+		inClT = breakTies2Net(b, inCl)
+
+		// Update: DistSum[i][l] = Σ_p InCl[i][p] ⊗ d(l, p).
+		distSum := makeMatrix(k, n)
+		for i := 0; i < k; i++ {
+			for l := 0; l < n; l++ {
+				terms := make([]network.NodeID, n)
+				for p := 0; p < n; p++ {
+					terms[p] = b.CondVal(inClT[i][p], event.Num(d[l][p]))
+				}
+				distSum[i][l] = b.Sum(terms...)
+			}
+		}
+
+		// Centre[i][l] = Φ_l ∧ ⋀_p (¬Φ_p ∨ [DistSum[i][l] ≤ DistSum[i][p]]).
+		centre := makeMatrix(k, n)
+		for i := 0; i < k; i++ {
+			for l := 0; l < n; l++ {
+				conj := make([]network.NodeID, 0, n)
+				conj = append(conj, phi[l])
+				for p := 0; p < n; p++ {
+					if p == l {
+						continue
+					}
+					cmp := b.Cmp(event.LE, distSum[i][l], distSum[i][p])
+					conj = append(conj, b.Or(b.Not(phi[p]), cmp))
+				}
+				centre[i][l] = b.And(conj...)
+			}
+		}
+		centreT = breakTies1Net(b, centre)
+
+		// Next-iteration medoid distances expand over the selector:
+		// dist(O_l, M_i) = Σ_p Centre[i][p] ⊗ d(l, p).
+		if it+1 < sp.Iter {
+			for i := 0; i < k; i++ {
+				for l := 0; l < n; l++ {
+					terms := make([]network.NodeID, n)
+					for p := 0; p < n; p++ {
+						terms[p] = b.CondVal(centreT[i][p], event.Num(d[l][p]))
+					}
+					dM[i][l] = b.Sum(terms...)
+				}
+			}
+		}
+	}
+
+	sp.registerTargets(b, inClT, centreT)
+	return b.Build(), nil
+}
+
+func (sp *KMedoidsSpec) registerTargets(b *network.Builder, inClT, centreT [][]network.NodeID) {
+	switch sp.Targets {
+	case TargetsMedoids:
+		for i := 0; i < sp.K; i++ {
+			for l := range sp.Objects {
+				b.Target(fmt.Sprintf("Centre[%d][%d]", i, l), centreT[i][l])
+			}
+		}
+	case TargetsAssignment:
+		for i := 0; i < sp.K; i++ {
+			for l := range sp.Objects {
+				b.Target(fmt.Sprintf("InCl[%d][%d]", i, l), inClT[i][l])
+			}
+		}
+	case TargetsCoOccurrence:
+		for _, p := range sp.pairs() {
+			both := make([]network.NodeID, sp.K)
+			for i := 0; i < sp.K; i++ {
+				both[i] = b.And(inClT[i][p[0]], inClT[i][p[1]])
+			}
+			b.Target(fmt.Sprintf("CoOcc[%d][%d]", p[0], p[1]), b.Or(both...))
+		}
+	}
+}
+
+func (sp *KMedoidsSpec) validate() error {
+	n := len(sp.Objects)
+	if n == 0 {
+		return fmt.Errorf("encode: no objects")
+	}
+	if sp.K <= 0 || sp.K > n {
+		return fmt.Errorf("encode: k = %d out of range for %d objects", sp.K, n)
+	}
+	if sp.Iter <= 0 {
+		return fmt.Errorf("encode: iter = %d must be positive", sp.Iter)
+	}
+	for _, ix := range sp.init() {
+		if ix < 0 || ix >= n {
+			return fmt.Errorf("encode: initial medoid index %d out of range", ix)
+		}
+	}
+	for _, p := range sp.pairs() {
+		if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
+			return fmt.Errorf("encode: co-occurrence pair %v out of range", p)
+		}
+	}
+	return nil
+}
+
+// breakTies2Net encodes breakTies2: object l keeps only the first cluster i
+// whose InCl[i][l] holds.
+func breakTies2Net(b *network.Builder, m [][]network.NodeID) [][]network.NodeID {
+	k := len(m)
+	n := len(m[0])
+	out := makeMatrix(k, n)
+	for l := 0; l < n; l++ {
+		for i := 0; i < k; i++ {
+			conj := make([]network.NodeID, 0, i+1)
+			conj = append(conj, m[i][l])
+			for j := 0; j < i; j++ {
+				conj = append(conj, b.Not(m[j][l]))
+			}
+			out[i][l] = b.And(conj...)
+		}
+	}
+	return out
+}
+
+// breakTies1Net encodes breakTies1: cluster i keeps only the first object l
+// whose Centre[i][l] holds.
+func breakTies1Net(b *network.Builder, m [][]network.NodeID) [][]network.NodeID {
+	k := len(m)
+	n := len(m[0])
+	out := makeMatrix(k, n)
+	for i := 0; i < k; i++ {
+		for l := 0; l < n; l++ {
+			conj := make([]network.NodeID, 0, l+1)
+			conj = append(conj, m[i][l])
+			for p := 0; p < l; p++ {
+				conj = append(conj, b.Not(m[i][p]))
+			}
+			out[i][l] = b.And(conj...)
+		}
+	}
+	return out
+}
+
+func makeMatrix(k, n int) [][]network.NodeID {
+	m := make([][]network.NodeID, k)
+	for i := range m {
+		m[i] = make([]network.NodeID, n)
+	}
+	return m
+}
+
+func distanceMatrix(pts []vec.Vec, metric vec.Distance) [][]float64 {
+	n := len(pts)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = metric(pts[i], pts[j])
+		}
+	}
+	return d
+}

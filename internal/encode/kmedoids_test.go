@@ -1,0 +1,169 @@
+package encode
+
+import (
+	"math/rand"
+	"testing"
+
+	"enframe/internal/event"
+	"enframe/internal/lineage"
+	"enframe/internal/prob"
+	"enframe/internal/vec"
+)
+
+func makeSpec(t *testing.T, rng *rand.Rand, scheme lineage.Scheme, targets TargetSet, n, k, iter int) *KMedoidsSpec {
+	t.Helper()
+	pts := make([]vec.Vec, n)
+	for i := range pts {
+		pts[i] = vec.New(float64(rng.Intn(20)), float64(rng.Intn(20)))
+	}
+	cfg := lineage.Config{
+		Scheme:    scheme,
+		GroupSize: 1 + rng.Intn(2),
+		NumVars:   3 + rng.Intn(4),
+		L:         2,
+		M:         3,
+		Seed:      rng.Int63(),
+	}
+	objs, space, err := lineage.Attach(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &KMedoidsSpec{
+		Objects: objs,
+		Space:   space,
+		K:       k,
+		Iter:    iter,
+		Metric:  vec.SquaredEuclidean,
+		Targets: targets,
+	}
+}
+
+func checkAgainstNaive(t *testing.T, sp *KMedoidsSpec, trial int) {
+	t.Helper()
+	naive, err := sp.Naive(NaiveOptions{})
+	if err != nil {
+		t.Fatalf("trial %d: naive: %v", trial, err)
+	}
+	net, err := sp.Network()
+	if err != nil {
+		t.Fatalf("trial %d: network: %v", trial, err)
+	}
+	res, err := prob.Compile(net, prob.Options{Strategy: prob.Exact})
+	if err != nil {
+		t.Fatalf("trial %d: compile: %v", trial, err)
+	}
+	if len(res.Targets) != len(naive.Targets) {
+		t.Fatalf("trial %d: %d compiled targets vs %d naive", trial, len(res.Targets), len(naive.Targets))
+	}
+	for i, tb := range res.Targets {
+		nb := naive.Targets[i]
+		if tb.Name != nb.Name {
+			t.Fatalf("trial %d: target %d name %q vs %q", trial, i, tb.Name, nb.Name)
+		}
+		if tb.Gap() > 1e-9 {
+			t.Fatalf("trial %d: %s did not converge: [%g, %g]", trial, tb.Name, tb.Lower, tb.Upper)
+		}
+		if d := tb.Lower - nb.Lower; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("trial %d: %s: compiled %g vs naive %g", trial, tb.Name, tb.Lower, nb.Lower)
+		}
+	}
+}
+
+// TestKMedoidsWorldEquivalence is the core reproduction invariant: the
+// compiled event network computes, for every target event, exactly the
+// probability obtained by clustering in each possible world ("the exact same
+// quality as the golden standard", §5).
+func TestKMedoidsWorldEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	schemes := []lineage.Scheme{lineage.Independent, lineage.Positive, lineage.Mutex, lineage.Conditional}
+	for trial := 0; trial < 24; trial++ {
+		scheme := schemes[trial%len(schemes)]
+		n := 4 + rng.Intn(4)
+		k := 2 + rng.Intn(2)
+		iter := 1 + rng.Intn(3)
+		sp := makeSpec(t, rng, scheme, TargetsMedoids, n, k, iter)
+		checkAgainstNaive(t, sp, trial)
+	}
+}
+
+func TestKMedoidsAssignmentTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 8; trial++ {
+		sp := makeSpec(t, rng, lineage.Positive, TargetsAssignment, 5, 2, 2)
+		checkAgainstNaive(t, sp, trial)
+	}
+}
+
+func TestKMedoidsCoOccurrenceTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 8; trial++ {
+		sp := makeSpec(t, rng, lineage.Mutex, TargetsCoOccurrence, 6, 2, 2)
+		checkAgainstNaive(t, sp, trial)
+	}
+}
+
+func TestKMedoidsCertainDataIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pts := make([]vec.Vec, 8)
+	for i := range pts {
+		pts[i] = vec.New(float64(rng.Intn(30)), float64(rng.Intn(30)))
+	}
+	objs := lineage.Certain(pts)
+	sp := &KMedoidsSpec{
+		Objects: objs,
+		Space:   event.NewSpace(),
+		K:       2,
+		Iter:    3,
+		Metric:  vec.SquaredEuclidean,
+		Targets: TargetsMedoids,
+	}
+	net, err := sp.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prob.Compile(net, prob.Options{Strategy: prob.Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every target must be 0 or 1, and exactly one medoid per cluster.
+	perCluster := make([]int, sp.K)
+	for _, tb := range res.Targets {
+		if tb.Gap() > 0 {
+			t.Fatalf("%s not converged on certain data", tb.Name)
+		}
+		if tb.Lower != 0 && tb.Lower != 1 {
+			t.Fatalf("%s = %g, want 0 or 1 on certain data", tb.Name, tb.Lower)
+		}
+	}
+	for i := 0; i < sp.K; i++ {
+		for l := range objs {
+			tb, ok := res.Target(targetName("Centre", i, l))
+			if !ok {
+				t.Fatalf("missing target Centre[%d][%d]", i, l)
+			}
+			if tb.Lower == 1 {
+				perCluster[i]++
+			}
+		}
+	}
+	for i, c := range perCluster {
+		if c != 1 {
+			t.Fatalf("cluster %d elected %d medoids, want exactly 1", i, c)
+		}
+	}
+	// The network should collapse to constants on certain data.
+	if net.NumNodes() > 10 {
+		t.Errorf("certain-data network has %d nodes; partial evaluation should collapse it", net.NumNodes())
+	}
+}
+
+func targetName(kind string, i, l int) string {
+	return kind + "[" + itoa(i) + "][" + itoa(l) + "]"
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}

@@ -1,0 +1,118 @@
+package encode
+
+import (
+	"testing"
+
+	"enframe/internal/cluster"
+	"enframe/internal/event"
+	"enframe/internal/prob"
+	"enframe/internal/worlds"
+)
+
+// TestMCLWorldEquivalence: the compiled co-clustering probabilities equal
+// per-world Markov clustering over the uncertain bridge edges.
+func TestMCLWorldEquivalence(t *testing.T) {
+	// Two triangles; both bridges 2–3 and 0–5 are uncertain.
+	n := 6
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		w[i][i] = 1
+	}
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 2}, {3, 4}, {3, 5}, {4, 5}} {
+		w[e[0]][e[1]], w[e[1]][e[0]] = 1, 1
+	}
+	w[2][3], w[3][2] = 1, 1
+	w[0][5], w[5][0] = 1, 1
+
+	space := event.NewSpace()
+	xb := event.NewVar(space.Add("bridge23", 0.5), "bridge23")
+	yb := event.NewVar(space.Add("bridge05", 0.4), "bridge05")
+	lin := make([][]event.Expr, n)
+	for i := range lin {
+		lin[i] = make([]event.Expr, n)
+	}
+	lin[2][3], lin[3][2] = xb, xb
+	lin[0][5], lin[5][0] = yb, yb
+
+	const (
+		r     = 2
+		iter  = 3
+		theta = 0.4
+	)
+	pairs := [][2]int{{0, 1}, {2, 3}, {0, 5}, {1, 4}}
+	sp := &MCLSpec{
+		Weights: w, EdgeLineage: lin, Space: space,
+		R: r, Iter: iter, Threshold: theta, Pairs: pairs,
+	}
+	net, err := sp.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prob.Compile(net, prob.Options{Strategy: prob.Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-world ground truth with the same co-clustering formula.
+	want := make([]float64, len(pairs))
+	worlds.Enumerate(space, func(nu event.SliceValuation, p float64) bool {
+		m := make([][]event.Value, n)
+		for i := range m {
+			m[i] = make([]event.Value, n)
+			for j := range m[i] {
+				weight := w[i][j]
+				if lin[i][j] != nil && !event.EvalExpr(lin[i][j], nu) {
+					weight = 0
+				}
+				m[i][j] = event.Num(weight)
+			}
+		}
+		out := cluster.MCL(m, r, iter)
+		for pi, pr := range pairs {
+			co := false
+			for k := 0; k < n; k++ {
+				a, b := out.M[pr[0]][k], out.M[pr[1]][k]
+				if a.Kind == event.Scalar && b.Kind == event.Scalar && a.S > theta && b.S > theta {
+					co = true
+					break
+				}
+			}
+			if co {
+				want[pi] += p
+			}
+		}
+		return true
+	})
+
+	for pi := range pairs {
+		tb := res.Targets[pi]
+		if tb.Gap() > 1e-9 {
+			t.Fatalf("%s did not converge: [%g, %g]", tb.Name, tb.Lower, tb.Upper)
+		}
+		if d := tb.Lower - want[pi]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("%s: compiled %g vs per-world %g", tb.Name, tb.Lower, want[pi])
+		}
+	}
+	// Sanity: an intra-triangle pair co-clusters at least as often as the
+	// cross-community pair (when both bridges appear, the communities
+	// genuinely blur, so neither probability is trivially 0 or 1).
+	if res.Targets[0].Lower < res.Targets[3].Upper {
+		t.Errorf("intra-triangle %g below cross-pair %g",
+			res.Targets[0].Lower, res.Targets[3].Upper)
+	}
+}
+
+func TestMCLSpecValidation(t *testing.T) {
+	if _, err := (&MCLSpec{Space: event.NewSpace()}).Network(); err == nil {
+		t.Error("empty spec must fail")
+	}
+	sp := &MCLSpec{Weights: [][]float64{{1}}, Space: event.NewSpace(), R: 2, Iter: 1}
+	if _, err := sp.Network(); err == nil {
+		t.Error("no pairs must fail")
+	}
+	sp.Pairs = [][2]int{{0, 9}}
+	if _, err := sp.Network(); err == nil {
+		t.Error("out-of-range pair must fail")
+	}
+}

@@ -1,0 +1,125 @@
+package encode
+
+import (
+	"time"
+
+	"enframe/internal/cluster"
+	"enframe/internal/event"
+	"enframe/internal/lineage"
+	"enframe/internal/prob"
+	"enframe/internal/vec"
+	"enframe/internal/worlds"
+)
+
+// NaiveOptions configures the naïve possible-worlds baseline.
+type NaiveOptions struct {
+	// Memoise caches the clustering result per distinct present-object
+	// subset. The paper's baseline clusters every world explicitly;
+	// memoisation is the ablation variant.
+	Memoise bool
+	// Timeout aborts the enumeration, returning TimedOut bounds.
+	Timeout time.Duration
+}
+
+// Naive computes the same target probabilities as Network + prob.Compile by
+// explicitly iterating over every possible world and running deterministic
+// k-medoids in each (§5 "Algorithms"). It is exponential in the number of
+// random variables and serves as the paper's baseline.
+func (sp *KMedoidsSpec) Naive(opts NaiveOptions) (*prob.Result, error) {
+	if err := sp.validate(); err != nil {
+		return nil, err
+	}
+	names := sp.TargetNames()
+	probs := make([]float64, len(names))
+
+	evs := lineage.Events(sp.Objects)
+	points := lineage.Positions(sp.Objects)
+	init := sp.init()
+	metric := sp.metric()
+	pairs := sp.pairs()
+
+	type memoEntry struct{ hit []bool }
+	memo := make(map[worlds.PresenceKey]memoEntry)
+
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	timedOut := false
+	nWorlds := int64(0)
+	start := time.Now()
+
+	worlds.Enumerate(sp.Space, func(nu event.SliceValuation, p float64) bool {
+		nWorlds++
+		if !deadline.IsZero() && nWorlds&255 == 0 && time.Now().After(deadline) {
+			timedOut = true
+			return false
+		}
+		var hit []bool
+		if opts.Memoise {
+			key, present, ok := worlds.KeyOf(evs, nu)
+			if ok {
+				if e, cached := memo[key]; cached {
+					hit = e.hit
+				} else {
+					hit = sp.evalWorld(points, present, init, metric, pairs)
+					memo[key] = memoEntry{hit: hit}
+				}
+			} else {
+				hit = sp.evalWorld(points, present, init, metric, pairs)
+			}
+		} else {
+			present := worlds.Presence(evs, nu)
+			hit = sp.evalWorld(points, present, init, metric, pairs)
+		}
+		for i, h := range hit {
+			if h {
+				probs[i] += p
+			}
+		}
+		return true
+	})
+
+	res := &prob.Result{TimedOut: timedOut}
+	res.Stats.Branches = nWorlds
+	res.Stats.Duration = time.Since(start)
+	res.Stats.Jobs = 1
+	for i, name := range names {
+		upper := probs[i]
+		if timedOut {
+			// The unexplored mass could fall either way; report the loose
+			// but sound interval [p, 1].
+			upper = 1
+		}
+		res.Targets = append(res.Targets, prob.TargetBound{Name: name, Lower: probs[i], Upper: upper})
+	}
+	return res, nil
+}
+
+// evalWorld clusters one world and evaluates the target events.
+func (sp *KMedoidsSpec) evalWorld(points []vec.Vec, present []bool, init []int, metric vec.Distance, pairs [][2]int) []bool {
+	r := cluster.KMedoids(points, present, sp.K, sp.Iter, init, metric)
+	var hit []bool
+	switch sp.Targets {
+	case TargetsMedoids:
+		for i := 0; i < sp.K; i++ {
+			hit = append(hit, r.Centre[i]...)
+		}
+	case TargetsAssignment:
+		for i := 0; i < sp.K; i++ {
+			hit = append(hit, r.InCl[i]...)
+		}
+	case TargetsCoOccurrence:
+		for _, pr := range pairs {
+			co := false
+			for i := 0; i < sp.K; i++ {
+				if r.InCl[i][pr[0]] && r.InCl[i][pr[1]] {
+					co = true
+					break
+				}
+			}
+			hit = append(hit, co)
+		}
+	}
+	return hit
+}

@@ -1,0 +1,132 @@
+package event
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DeclKind distinguishes Boolean event declarations from c-value
+// declarations in an event program.
+type DeclKind uint8
+
+const (
+	// BoolDecl declares a Boolean event (EID ≡ EVENT).
+	BoolDecl DeclKind = iota
+	// NumDecl declares a named c-value (EID ≡ CVAL).
+	NumDecl
+)
+
+// Decl is one grounded declaration of an event program: a unique name bound
+// to either a Boolean event or a c-value. Event programs require
+// immutability — each name is assigned exactly once (§3.4).
+type Decl struct {
+	Name string
+	Kind DeclKind
+	E    Expr    // set when Kind == BoolDecl
+	N    NumExpr // set when Kind == NumDecl
+}
+
+// Program is a grounded event program: the variable space plus an ordered
+// sequence of immutable declarations. ∀-loops of the paper's event language
+// are grounded at construction time (bounded ranges are known statically);
+// sharing between iterations is preserved through shared subexpression
+// pointers.
+type Program struct {
+	Space  *Space
+	Decls  []Decl
+	byName map[string]int
+}
+
+// NewProgram returns an empty event program over the given variable space.
+func NewProgram(space *Space) *Program {
+	return &Program{Space: space, byName: make(map[string]int)}
+}
+
+// DeclareBool binds name to a Boolean event. It panics when the name is
+// already bound: event declarations are immutable.
+func (p *Program) DeclareBool(name string, e Expr) Expr {
+	p.bind(name, Decl{Name: name, Kind: BoolDecl, E: e})
+	return e
+}
+
+// DeclareNum binds name to a c-value expression.
+func (p *Program) DeclareNum(name string, x NumExpr) NumExpr {
+	p.bind(name, Decl{Name: name, Kind: NumDecl, N: x})
+	return x
+}
+
+func (p *Program) bind(name string, d Decl) {
+	if _, dup := p.byName[name]; dup {
+		panic(fmt.Sprintf("event: duplicate declaration of %q (event identifiers are immutable)", name))
+	}
+	p.byName[name] = len(p.Decls)
+	p.Decls = append(p.Decls, d)
+}
+
+// Lookup returns the declaration bound to name.
+func (p *Program) Lookup(name string) (Decl, bool) {
+	i, ok := p.byName[name]
+	if !ok {
+		return Decl{}, false
+	}
+	return p.Decls[i], true
+}
+
+// Bool returns the Boolean event bound to name, panicking when absent or of
+// the wrong kind. Use for programmatically constructed programs where the
+// name is known to exist.
+func (p *Program) Bool(name string) Expr {
+	d, ok := p.Lookup(name)
+	if !ok || d.Kind != BoolDecl {
+		panic(fmt.Sprintf("event: no Boolean event named %q", name))
+	}
+	return d.E
+}
+
+// Num returns the c-value bound to name, panicking when absent or of the
+// wrong kind.
+func (p *Program) Num(name string) NumExpr {
+	d, ok := p.Lookup(name)
+	if !ok || d.Kind != NumDecl {
+		panic(fmt.Sprintf("event: no c-value named %q", name))
+	}
+	return d.N
+}
+
+// Names returns all declared names in declaration order.
+func (p *Program) Names() []string {
+	out := make([]string, len(p.Decls))
+	for i, d := range p.Decls {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// NamesMatching returns the declared names for which keep returns true,
+// sorted lexicographically.
+func (p *Program) NamesMatching(keep func(string) bool) []string {
+	var out []string
+	for _, d := range p.Decls {
+		if keep(d.Name) {
+			out = append(out, d.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the program one declaration per line, for debugging and
+// the CLI's -dump-events mode.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, d := range p.Decls {
+		switch d.Kind {
+		case BoolDecl:
+			fmt.Fprintf(&b, "%s ≡ %s\n", d.Name, d.E)
+		case NumDecl:
+			fmt.Fprintf(&b, "%s ≡ %s\n", d.Name, d.N)
+		}
+	}
+	return b.String()
+}

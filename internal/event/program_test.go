@@ -1,0 +1,77 @@
+package event
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProgramDeclarations(t *testing.T) {
+	sp := NewSpace()
+	x := NewVar(sp.Add("x", 0.5), "x")
+	p := NewProgram(sp)
+	p.DeclareBool("phi", x)
+	p.DeclareNum("val", NewCondVal(x, Num(3)))
+
+	if _, ok := p.Lookup("phi"); !ok {
+		t.Error("phi not found")
+	}
+	if p.Bool("phi") != x {
+		t.Error("wrong event bound to phi")
+	}
+	if p.Num("val") == nil {
+		t.Error("wrong c-value bound to val")
+	}
+	if names := p.Names(); len(names) != 2 || names[0] != "phi" {
+		t.Errorf("Names = %v", names)
+	}
+	got := p.NamesMatching(func(n string) bool { return strings.HasPrefix(n, "v") })
+	if len(got) != 1 || got[0] != "val" {
+		t.Errorf("NamesMatching = %v", got)
+	}
+	s := p.String()
+	if !strings.Contains(s, "phi ≡ x") || !strings.Contains(s, "val ≡") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestProgramImmutability(t *testing.T) {
+	sp := NewSpace()
+	p := NewProgram(sp)
+	p.DeclareBool("e", True)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate declaration must panic (§3.4 immutability)")
+		}
+	}()
+	p.DeclareBool("e", False)
+}
+
+func TestSpaceValidation(t *testing.T) {
+	sp := NewSpace()
+	x := sp.Add("x", 0.25)
+	if sp.Name(x) != "x" || sp.Prob(x) != 0.25 || sp.Len() != 1 {
+		t.Error("space accessors broken")
+	}
+	sp.SetProb(x, 0.75)
+	if sp.Prob(x) != 0.75 {
+		t.Error("SetProb ineffective")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range probability must panic")
+		}
+	}()
+	sp.Add("y", 1.5)
+}
+
+func TestBoolLookupPanicsOnWrongKind(t *testing.T) {
+	sp := NewSpace()
+	p := NewProgram(sp)
+	p.DeclareNum("n", NewConstNum(Num(1)))
+	defer func() {
+		if recover() == nil {
+			t.Error("Bool on a numeric declaration must panic")
+		}
+	}()
+	p.Bool("n")
+}

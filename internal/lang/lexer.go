@@ -1,0 +1,253 @@
+package lang
+
+import (
+	"strings"
+)
+
+// Lex tokenises a user program, emitting INDENT/DEDENT tokens from leading
+// whitespace as Python does. Tabs count as 8 columns; comments run from '#'
+// to end of line; blank lines produce no tokens.
+func Lex(src string) ([]Token, error) {
+	lx := &lexer{src: src, line: 1, col: 1, indents: []int{0}}
+	for !lx.eof() {
+		if err := lx.lexLine(); err != nil {
+			return nil, err
+		}
+	}
+	// Close any open blocks.
+	for len(lx.indents) > 1 {
+		lx.indents = lx.indents[:len(lx.indents)-1]
+		lx.emit(TokDedent, "")
+	}
+	lx.emit(TokEOF, "")
+	return lx.toks, nil
+}
+
+type lexer struct {
+	src     string
+	off     int
+	line    int
+	col     int
+	indents []int
+	toks    []Token
+}
+
+func (lx *lexer) eof() bool { return lx.off >= len(lx.src) }
+
+func (lx *lexer) peek() byte { return lx.src[lx.off] }
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else if c == '\t' {
+		lx.col += 8 - (lx.col-1)%8
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) emit(kind TokKind, text string) {
+	lx.toks = append(lx.toks, Token{Kind: kind, Text: text, Pos: lx.pos()})
+}
+
+func (lx *lexer) emitAt(kind TokKind, text string, pos Pos) {
+	lx.toks = append(lx.toks, Token{Kind: kind, Text: text, Pos: pos})
+}
+
+// lexLine handles one physical line: indentation bookkeeping, then tokens.
+func (lx *lexer) lexLine() error {
+	// Measure indentation.
+	indent := 0
+	for !lx.eof() {
+		switch lx.peek() {
+		case ' ':
+			indent++
+			lx.advance()
+			continue
+		case '\t':
+			indent += 8 - indent%8
+			lx.advance()
+			continue
+		}
+		break
+	}
+	// Blank or comment-only lines carry no block structure.
+	if lx.eof() || lx.peek() == '\n' || lx.peek() == '#' {
+		lx.skipRestOfLine()
+		return nil
+	}
+	if err := lx.applyIndent(indent); err != nil {
+		return err
+	}
+	for !lx.eof() && lx.peek() != '\n' {
+		if err := lx.lexToken(); err != nil {
+			return err
+		}
+	}
+	lx.emit(TokNewline, "")
+	if !lx.eof() {
+		lx.advance() // consume '\n'
+	}
+	return nil
+}
+
+func (lx *lexer) skipRestOfLine() {
+	for !lx.eof() && lx.peek() != '\n' {
+		lx.advance()
+	}
+	if !lx.eof() {
+		lx.advance()
+	}
+}
+
+func (lx *lexer) applyIndent(indent int) error {
+	top := lx.indents[len(lx.indents)-1]
+	switch {
+	case indent > top:
+		lx.indents = append(lx.indents, indent)
+		lx.emit(TokIndent, "")
+	case indent < top:
+		for len(lx.indents) > 1 && lx.indents[len(lx.indents)-1] > indent {
+			lx.indents = lx.indents[:len(lx.indents)-1]
+			lx.emit(TokDedent, "")
+		}
+		if lx.indents[len(lx.indents)-1] != indent {
+			return errf(lx.pos(), "inconsistent indentation")
+		}
+	}
+	return nil
+}
+
+func (lx *lexer) lexToken() error {
+	c := lx.peek()
+	pos := lx.pos()
+	switch {
+	case c == ' ' || c == '\t':
+		lx.advance()
+		return nil
+	case c == '#':
+		for !lx.eof() && lx.peek() != '\n' {
+			lx.advance()
+		}
+		return nil
+	case isLetter(c):
+		start := lx.off
+		for !lx.eof() && (isLetter(lx.peek()) || isDigit(lx.peek())) {
+			lx.advance()
+		}
+		word := lx.src[start:lx.off]
+		switch word {
+		case "for":
+			lx.emitAt(TokFor, word, pos)
+		case "in":
+			lx.emitAt(TokIn, word, pos)
+		case "if":
+			lx.emitAt(TokIf, word, pos)
+		case "True":
+			lx.emitAt(TokTrue, word, pos)
+		case "False":
+			lx.emitAt(TokFalse, word, pos)
+		case "None":
+			lx.emitAt(TokNone, word, pos)
+		default:
+			lx.emitAt(TokIdent, word, pos)
+		}
+		return nil
+	case isDigit(c):
+		start := lx.off
+		kind := TokInt
+		for !lx.eof() && isDigit(lx.peek()) {
+			lx.advance()
+		}
+		if !lx.eof() && lx.peek() == '.' {
+			kind = TokFloat
+			lx.advance()
+			for !lx.eof() && isDigit(lx.peek()) {
+				lx.advance()
+			}
+		}
+		lx.emitAt(kind, lx.src[start:lx.off], pos)
+		return nil
+	}
+	lx.advance()
+	switch c {
+	case '(':
+		lx.emitAt(TokLParen, "(", pos)
+	case ')':
+		lx.emitAt(TokRParen, ")", pos)
+	case '[':
+		lx.emitAt(TokLBracket, "[", pos)
+	case ']':
+		lx.emitAt(TokRBracket, "]", pos)
+	case ',':
+		lx.emitAt(TokComma, ",", pos)
+	case ':':
+		lx.emitAt(TokColon, ":", pos)
+	case '+':
+		lx.emitAt(TokPlus, "+", pos)
+	case '*':
+		lx.emitAt(TokStar, "*", pos)
+	case '=':
+		if !lx.eof() && lx.peek() == '=' {
+			lx.advance()
+			lx.emitAt(TokEq, "==", pos)
+		} else {
+			lx.emitAt(TokAssign, "=", pos)
+		}
+	case '<':
+		if !lx.eof() && lx.peek() == '=' {
+			lx.advance()
+			lx.emitAt(TokLE, "<=", pos)
+		} else {
+			lx.emitAt(TokLT, "<", pos)
+		}
+	case '>':
+		if !lx.eof() && lx.peek() == '=' {
+			lx.advance()
+			lx.emitAt(TokGE, ">=", pos)
+		} else {
+			lx.emitAt(TokGT, ">", pos)
+		}
+	default:
+		return errf(pos, "unexpected character %q", string(c))
+	}
+	return nil
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// stripCommon removes a common leading margin from program literals in Go
+// source, easing embedded test programs.
+func stripCommon(src string) string {
+	lines := strings.Split(src, "\n")
+	margin := -1
+	for _, ln := range lines {
+		trimmed := strings.TrimLeft(ln, " \t")
+		if trimmed == "" {
+			continue
+		}
+		ind := len(ln) - len(trimmed)
+		if margin < 0 || ind < margin {
+			margin = ind
+		}
+	}
+	if margin <= 0 {
+		return src
+	}
+	for i, ln := range lines {
+		if len(ln) >= margin {
+			lines[i] = ln[margin:]
+		}
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,164 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCanonicalPrograms(t *testing.T) {
+	for name, src := range map[string]string{
+		"kmedoids": KMedoidsSource,
+		"kmeans":   KMeansSource,
+		"mcl":      MCLSource,
+		"example3": Example3Source,
+	} {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := Validate(prog); err != nil {
+			t.Fatalf("%s: validate: %v", name, err)
+		}
+		if len(prog.Stmts) == 0 {
+			t.Fatalf("%s: empty program", name)
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	prog := MustParse(`
+		(O, n) = loadData()
+		(k, iter) = loadParams()
+		M = init()
+		for i in range(0, k):
+			M[i] = reduce_sum([O[l] for l in range(0, n) if InCl[i][l]])
+	`)
+	if len(prog.Stmts) != 4 {
+		t.Fatalf("got %d statements, want 4", len(prog.Stmts))
+	}
+	ta, ok := prog.Stmts[0].(*TupleAssign)
+	if !ok || ta.Fn != "loadData" || len(ta.Names) != 2 {
+		t.Fatalf("bad first statement: %#v", prog.Stmts[0])
+	}
+	f, ok := prog.Stmts[3].(*For)
+	if !ok || f.Var != "i" {
+		t.Fatalf("bad loop: %#v", prog.Stmts[3])
+	}
+	as, ok := f.Body[0].(*Assign)
+	if !ok || as.Target.Name != "M" || len(as.Target.Indices) != 1 {
+		t.Fatalf("bad loop body: %#v", f.Body[0])
+	}
+	call, ok := as.Value.(*Call)
+	if !ok || call.Fn != "reduce_sum" {
+		t.Fatalf("bad RHS: %#v", as.Value)
+	}
+	lc, ok := call.Args[0].(*ListCompr)
+	if !ok || lc.Var != "l" || lc.Cond == nil {
+		t.Fatalf("bad list comprehension: %#v", call.Args[0])
+	}
+}
+
+func TestParseNestedIndentation(t *testing.T) {
+	prog := MustParse(`
+		x = 1
+		for i in range(0, 2):
+			y = 2
+			for j in range(0, 3):
+				z = 3
+			w = 4
+		v = 5
+	`)
+	if len(prog.Stmts) != 3 {
+		t.Fatalf("got %d top-level statements, want 3", len(prog.Stmts))
+	}
+	outer := prog.Stmts[1].(*For)
+	if len(outer.Body) != 3 {
+		t.Fatalf("outer body has %d statements, want 3", len(outer.Body))
+	}
+	inner := outer.Body[1].(*For)
+	if len(inner.Body) != 1 {
+		t.Fatalf("inner body has %d statements, want 1", len(inner.Body))
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	prog := MustParse(`
+		x = 1  # trailing comment
+		# whole-line comment
+
+		y = x + 2
+	`)
+	if len(prog.Stmts) != 2 {
+		t.Fatalf("got %d statements, want 2", len(prog.Stmts))
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	prog := MustParse("x = 1\ny = (x + 2) * 3\nb = y <= 4\nc = y == 5\nd = y >= 1\ne = y < 2\nf = y > 0\n")
+	if len(prog.Stmts) != 7 {
+		t.Fatalf("got %d statements", len(prog.Stmts))
+	}
+	b := prog.Stmts[2].(*Assign).Value.(*BinOp)
+	if b.Op != "<=" {
+		t.Errorf("op = %q", b.Op)
+	}
+	y := prog.Stmts[1].(*Assign).Value.(*BinOp)
+	if y.Op != "*" {
+		t.Errorf("precedence: outer op = %q, want *", y.Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"for i in lst:\n\tx = 1\n",      // not range
+		"x = \n",                        // missing RHS
+		"x = [None]\n",                  // array literal without size
+		"(a b) = loadData()\n",          // malformed tuple
+		"x = 1 +\n",                     // dangling operator
+		"for i in range(0, 2): x = 1\n", // body must be an indented block
+		"x = $\n",                       // bad character
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined name":         "x = y + 1\n",
+		"compr outside reduce":   "x = [1 for i in range(0, 2)]\n",
+		"unknown function":       "x = foo(1)\n",
+		"tuple external":         "(a, b) = init()\n",
+		"element before init":    "M[0] = 1\n",
+		"nonconstant range":      "(O, n) = loadData()\nfor i in range(0, dist(O[0], O[1])):\n\tx = 1\n",
+		"reduce non-compr":       "x = reduce_sum(3)\n",
+		"external in expression": "x = 1 + loadParams()\n",
+	}
+	for name, src := range cases {
+		prog, err := Parse(src)
+		if err != nil {
+			continue // parse-level rejection is fine too
+		}
+		if err := Validate(prog); err == nil {
+			t.Errorf("%s: expected a validation error for %q", name, src)
+		}
+	}
+}
+
+func TestLexIndentConsistency(t *testing.T) {
+	if _, err := Lex("for i in range(0,1):\n    x = 1\n  y = 2\n"); err == nil {
+		t.Error("expected inconsistent indentation error")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	prog := MustParse("x = reduce_sum([1 for i in range(0, 3) if True])\n")
+	s := ExprString(prog.Stmts[0].(*Assign).Value)
+	for _, frag := range []string{"reduce_sum", "for i in range(0, 3)", "if True"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("ExprString = %q missing %q", s, frag)
+		}
+	}
+}

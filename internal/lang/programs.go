@@ -1,0 +1,77 @@
+package lang
+
+// Canonical user programs from the paper's Figures 1–3. They parse with
+// this package and drive the interpreter, the translator, and the CLI.
+
+// KMedoidsSource is the k-medoids user program of Figure 1.
+const KMedoidsSource = `
+(O, n) = loadData()           # list and number of objects
+(k, iter) = loadParams()      # number of clusters and iterations
+M = init()                    # initialise medoids
+for it in range(0,iter):      # clustering iterations
+    InCl = [None] * k         # assignment phase
+    for i in range(0,k):
+        InCl[i] = [None] * n
+        for l in range(0,n):
+            InCl[i][l] = reduce_and([(dist(O[l],M[i]) <= dist(O[l],M[j])) for j in range(0,k)])
+    InCl = breakTies2(InCl)   # each object is in exactly one cluster
+    DistSum = [None] * k      # update phase
+    for i in range(0,k):
+        DistSum[i] = [None] * n
+        for l in range(0,n):
+            DistSum[i][l] = reduce_sum([dist(O[l],O[p]) for p in range(0,n) if InCl[i][p]])
+    Centre = [None] * k
+    for i in range(0,k):
+        Centre[i] = [None] * n
+        for l in range(0,n):
+            Centre[i][l] = reduce_and([DistSum[i][l] <= DistSum[i][p] for p in range(0,n)])
+    Centre = breakTies1(Centre)  # enforce one Centre per cluster
+    M = [None] * k
+    for i in range(0,k):
+        M[i] = reduce_sum([O[l] for l in range(0,n) if Centre[i][l]])
+`
+
+// KMeansSource is the k-means user program of Figure 2.
+const KMeansSource = `
+(O, n) = loadData()           # list and number of objects
+(k, iter) = loadParams()      # number of clusters and iterations
+M = init()                    # initialise centroids
+for it in range(0,iter):      # clustering iterations
+    InCl = [None] * k         # assignment phase
+    for i in range(0,k):
+        InCl[i] = [None] * n
+        for l in range(0,n):
+            InCl[i][l] = reduce_and([dist(O[l],M[i]) <= dist(O[l],M[j]) for j in range(0,k)])
+    InCl = breakTies2(InCl)   # each object is in exactly one cluster
+    M = [None] * k            # update phase
+    for i in range(0,k):
+        M[i] = scalar_mult(invert(reduce_count([1 for l in range(0,n) if InCl[i][l]])), reduce_sum([O[l] for l in range(0,n) if InCl[i][l]]))
+`
+
+// MCLSource is the Markov clustering user program of Figure 3.
+const MCLSource = `
+(O, n, M) = loadData()        # M is a stochastic n*n matrix of edge weights
+(r, iter) = loadParams()      # Hadamard power, number of iterations
+for it in range(0,iter):
+    N = [None] * n            # expansion phase
+    for i in range(0,n):
+        N[i] = [None] * n
+        for j in range(0,n):
+            N[i][j] = reduce_sum([M[i][k]*M[k][j] for k in range(0,n)])
+    M = [None] * n            # inflation phase
+    for i in range(0,n):
+        M[i] = [None] * n
+        for j in range(0,n):
+            M[i][j] = pow(N[i][j],r)*invert(reduce_sum([pow(N[i][k],r) for k in range(0,n)]))
+`
+
+// Example3Source is the label-machinery example of §3.5 (Example 3).
+const Example3Source = `
+M = 7
+M = M+2
+for i in range(0,2):
+    M = M+i
+    for j in range(0,3):
+        M = M+1
+M = M+1
+`

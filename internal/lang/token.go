@@ -1,0 +1,127 @@
+// Package lang implements ENFrame's user language (paper §2): the Python
+// fragment of Figure 4 with bounded-range loops, list comprehension,
+// reduce_* aggregates, tie breaking, and the external calls loadData,
+// loadParams, and init. It provides an indentation-aware lexer, a recursive
+// descent parser producing an AST, and static validation.
+package lang
+
+import "fmt"
+
+// TokKind enumerates the token kinds of the user language.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokNewline
+	TokIndent
+	TokDedent
+	TokIdent
+	TokInt
+	TokFloat
+	TokLParen
+	TokRParen
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokColon
+	TokAssign // =
+	TokEq     // ==
+	TokLE     // <=
+	TokGE     // >=
+	TokLT     // <
+	TokGT     // >
+	TokPlus   // +
+	TokStar   // *
+	TokFor
+	TokIn
+	TokIf
+	TokTrue
+	TokFalse
+	TokNone
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokNewline:
+		return "newline"
+	case TokIndent:
+		return "indent"
+	case TokDedent:
+		return "dedent"
+	case TokIdent:
+		return "identifier"
+	case TokInt:
+		return "integer"
+	case TokFloat:
+		return "float"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokLBracket:
+		return "'['"
+	case TokRBracket:
+		return "']'"
+	case TokComma:
+		return "','"
+	case TokColon:
+		return "':'"
+	case TokAssign:
+		return "'='"
+	case TokEq:
+		return "'=='"
+	case TokLE:
+		return "'<='"
+	case TokGE:
+		return "'>='"
+	case TokLT:
+		return "'<'"
+	case TokGT:
+		return "'>'"
+	case TokPlus:
+		return "'+'"
+	case TokStar:
+		return "'*'"
+	case TokFor:
+		return "'for'"
+	case TokIn:
+		return "'in'"
+	case TokIf:
+		return "'if'"
+	case TokTrue:
+		return "'True'"
+	case TokFalse:
+		return "'False'"
+	case TokNone:
+		return "'None'"
+	}
+	return fmt.Sprintf("TokKind(%d)", uint8(k))
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a lexing, parsing, or validation error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

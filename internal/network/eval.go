@@ -1,0 +1,85 @@
+package network
+
+import (
+	"enframe/internal/event"
+)
+
+// Assignment holds the evaluated values of every node under one complete
+// valuation: Bools for Boolean nodes and Nums for numeric nodes.
+type Assignment struct {
+	Bools []bool
+	Nums  []event.Value
+}
+
+// Eval evaluates the whole network bottom-up under a complete valuation.
+// Node ids are topologically ordered by construction, so a single pass
+// suffices. This is the reference semantics used by differential tests; the
+// compiler in internal/prob must agree with it on every valuation.
+func (n *Net) Eval(nu event.Valuation) Assignment {
+	a := Assignment{
+		Bools: make([]bool, len(n.Nodes)),
+		Nums:  make([]event.Value, len(n.Nodes)),
+	}
+	for id := range n.Nodes {
+		nd := &n.Nodes[id]
+		switch nd.Kind {
+		case KVar:
+			a.Bools[id] = nu.Value(nd.Var)
+		case KConst:
+			a.Bools[id] = nd.B
+		case KNot:
+			a.Bools[id] = !a.Bools[nd.Kids[0]]
+		case KAnd:
+			v := true
+			for _, k := range nd.Kids {
+				if !a.Bools[k] {
+					v = false
+					break
+				}
+			}
+			a.Bools[id] = v
+		case KOr:
+			v := false
+			for _, k := range nd.Kids {
+				if a.Bools[k] {
+					v = true
+					break
+				}
+			}
+			a.Bools[id] = v
+		case KCmp:
+			a.Bools[id] = event.Compare(nd.Op, a.Nums[nd.Kids[0]], a.Nums[nd.Kids[1]])
+		case KCondVal:
+			if a.Bools[nd.Kids[0]] {
+				a.Nums[id] = nd.Val
+			} else {
+				a.Nums[id] = event.U
+			}
+		case KGuard:
+			if a.Bools[nd.Kids[0]] {
+				a.Nums[id] = a.Nums[nd.Kids[1]]
+			} else {
+				a.Nums[id] = event.U
+			}
+		case KSum:
+			v := event.U
+			for _, k := range nd.Kids {
+				v = event.Add(v, a.Nums[k])
+			}
+			a.Nums[id] = v
+		case KProd:
+			v := event.Num(1)
+			for _, k := range nd.Kids {
+				v = event.Mul(v, a.Nums[k])
+			}
+			a.Nums[id] = v
+		case KInv:
+			a.Nums[id] = event.Inv(a.Nums[nd.Kids[0]])
+		case KPow:
+			a.Nums[id] = event.PowVal(a.Nums[nd.Kids[0]], nd.Exp)
+		case KDist:
+			a.Nums[id] = event.DistVal(n.Metric, a.Nums[nd.Kids[0]], a.Nums[nd.Kids[1]])
+		}
+	}
+	return a
+}

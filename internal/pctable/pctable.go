@@ -1,0 +1,305 @@
+// Package pctable implements probabilistic-conditioned tables (pc-tables)
+// and a positive relational algebra with aggregates over them — the
+// substrate ENFrame's loadData() uses to pull uncertain objects from a
+// database (§2 "Input data"; the paper delegates this to the SPROUT engine
+// [14], which this package stands in for). Each tuple carries a lineage
+// event over the shared variable space; operators combine lineage with ∧
+// and ∨ following provenance semantics, and SUM/COUNT aggregates produce
+// the c-values of the event language.
+package pctable
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"enframe/internal/event"
+	"enframe/internal/lineage"
+	"enframe/internal/vec"
+)
+
+// Value is an attribute value: a string or a float64 (ints are floats).
+type Value struct {
+	IsStr bool
+	S     string
+	F     float64
+}
+
+// Str returns a string attribute value.
+func Str(s string) Value { return Value{IsStr: true, S: s} }
+
+// Num returns a numeric attribute value.
+func Num(f float64) Value { return Value{F: f} }
+
+func (v Value) String() string {
+	if v.IsStr {
+		return v.S
+	}
+	return fmt.Sprintf("%g", v.F)
+}
+
+// Equal compares attribute values.
+func (v Value) Equal(w Value) bool { return v == w }
+
+// Tuple is one row with its lineage event Φ.
+type Tuple struct {
+	Values  []Value
+	Lineage event.Expr
+}
+
+// Relation is a pc-table: a schema plus tuples annotated with events.
+type Relation struct {
+	Name   string
+	Schema []string
+	Tuples []Tuple
+}
+
+// NewRelation returns an empty pc-table with the given schema.
+func NewRelation(name string, schema ...string) *Relation {
+	return &Relation{Name: name, Schema: schema}
+}
+
+// Insert appends a tuple with the given lineage (nil means certain).
+func (r *Relation) Insert(lineage event.Expr, vals ...Value) *Relation {
+	if len(vals) != len(r.Schema) {
+		panic(fmt.Sprintf("pctable: %s: inserted %d values into schema of %d", r.Name, len(vals), len(r.Schema)))
+	}
+	if lineage == nil {
+		lineage = event.True
+	}
+	r.Tuples = append(r.Tuples, Tuple{Values: vals, Lineage: lineage})
+	return r
+}
+
+func (r *Relation) col(name string) int {
+	for i, c := range r.Schema {
+		if c == name {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("pctable: relation %s has no attribute %q", r.Name, name))
+}
+
+// Pred is a tuple predicate for selections.
+type Pred func(get func(col string) Value) bool
+
+// Select keeps the tuples satisfying the predicate; lineage is unchanged.
+func (r *Relation) Select(pred Pred) *Relation {
+	out := NewRelation(r.Name+"_sel", r.Schema...)
+	for _, t := range r.Tuples {
+		tt := t
+		if pred(func(c string) Value { return tt.Values[r.col(c)] }) {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}
+
+// Project keeps the named columns, merging duplicate result tuples by
+// disjoining their lineage (possible-worlds projection semantics).
+func (r *Relation) Project(cols ...string) *Relation {
+	out := NewRelation(r.Name+"_proj", cols...)
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = r.col(c)
+	}
+	seen := map[string]int{}
+	for _, t := range r.Tuples {
+		vals := make([]Value, len(cols))
+		for i, j := range idx {
+			vals[i] = t.Values[j]
+		}
+		key := tupleKey(vals)
+		if at, dup := seen[key]; dup {
+			out.Tuples[at].Lineage = event.NewOr(out.Tuples[at].Lineage, t.Lineage)
+			continue
+		}
+		seen[key] = len(out.Tuples)
+		out.Tuples = append(out.Tuples, Tuple{Values: vals, Lineage: t.Lineage})
+	}
+	return out
+}
+
+// Join computes the natural join; joined tuples carry the conjunction of
+// their inputs' lineage.
+func (r *Relation) Join(s *Relation) *Relation {
+	var shared []string
+	for _, c := range r.Schema {
+		for _, d := range s.Schema {
+			if c == d {
+				shared = append(shared, c)
+			}
+		}
+	}
+	var extra []string
+	for _, d := range s.Schema {
+		if !contains(shared, d) {
+			extra = append(extra, d)
+		}
+	}
+	out := NewRelation(r.Name+"_"+s.Name, append(append([]string{}, r.Schema...), extra...)...)
+	for _, t := range r.Tuples {
+		for _, u := range s.Tuples {
+			match := true
+			for _, c := range shared {
+				if !t.Values[r.col(c)].Equal(u.Values[s.col(c)]) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			vals := append(append([]Value{}, t.Values...), nil...)
+			for _, d := range extra {
+				vals = append(vals, u.Values[s.col(d)])
+			}
+			out.Tuples = append(out.Tuples, Tuple{
+				Values:  vals,
+				Lineage: event.NewAnd(t.Lineage, u.Lineage),
+			})
+		}
+	}
+	return out
+}
+
+// Union appends s to r (schemas must match), merging identical tuples by
+// disjunction.
+func (r *Relation) Union(s *Relation) *Relation {
+	if len(r.Schema) != len(s.Schema) {
+		panic("pctable: union over mismatched schemas")
+	}
+	out := NewRelation(r.Name+"_u_"+s.Name, r.Schema...)
+	out.Tuples = append(out.Tuples, r.Tuples...)
+	seen := map[string]int{}
+	for i, t := range out.Tuples {
+		seen[tupleKey(t.Values)] = i
+	}
+	for _, t := range s.Tuples {
+		key := tupleKey(t.Values)
+		if at, dup := seen[key]; dup {
+			out.Tuples[at].Lineage = event.NewOr(out.Tuples[at].Lineage, t.Lineage)
+			continue
+		}
+		seen[key] = len(out.Tuples)
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out
+}
+
+// TupleProb computes the marginal probability of each result tuple by the
+// exact (enumeration-based) event semantics; fine for the data sizes
+// loadData() handles.
+func (r *Relation) TupleProb(space *event.Space) []float64 {
+	out := make([]float64, len(r.Tuples))
+	for i, t := range r.Tuples {
+		out[i] = event.ExactProb(t.Lineage, space)
+	}
+	return out
+}
+
+// AggSum builds the c-value Σ_t Φ(t) ∧ ⊗v(t) over a numeric column — the
+// semimodule-style aggregation of [14] in event-language form: the sum of
+// the column over the tuples present in a world (undefined when no tuple
+// exists).
+func (r *Relation) AggSum(col string) event.NumExpr {
+	j := r.col(col)
+	terms := make([]event.NumExpr, 0, len(r.Tuples))
+	for _, t := range r.Tuples {
+		terms = append(terms, event.NewCondVal(t.Lineage, event.Num(t.Values[j].F)))
+	}
+	if len(terms) == 0 {
+		return event.NewCondVal(event.False, event.U)
+	}
+	return event.NewSum(terms...)
+}
+
+// AggCount builds the c-value Σ_t Φ(t) ⊗ 1: the number of tuples present
+// in a world (undefined when none is).
+func (r *Relation) AggCount() event.NumExpr {
+	terms := make([]event.NumExpr, 0, len(r.Tuples))
+	for _, t := range r.Tuples {
+		terms = append(terms, event.NewCondVal(t.Lineage, event.Num(1)))
+	}
+	if len(terms) == 0 {
+		return event.NewCondVal(event.False, event.U)
+	}
+	return event.NewSum(terms...)
+}
+
+// GroupBy partitions tuples by the values of the given columns, returning
+// one relation per group, keyed by the rendered group values.
+func (r *Relation) GroupBy(cols ...string) map[string]*Relation {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = r.col(c)
+	}
+	out := map[string]*Relation{}
+	for _, t := range r.Tuples {
+		var parts []string
+		for _, j := range idx {
+			parts = append(parts, t.Values[j].String())
+		}
+		key := strings.Join(parts, "|")
+		g, ok := out[key]
+		if !ok {
+			g = NewRelation(r.Name+"@"+key, r.Schema...)
+			out[key] = g
+		}
+		g.Tuples = append(g.Tuples, t)
+	}
+	return out
+}
+
+// GroupKeys returns the sorted group keys of a GroupBy result.
+func GroupKeys(groups map[string]*Relation) []string {
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func tupleKey(vals []Value) string {
+	var b strings.Builder
+	for _, v := range vals {
+		if v.IsStr {
+			b.WriteByte('s')
+			b.WriteString(v.S)
+		} else {
+			fmt.Fprintf(&b, "n%g", v.F)
+		}
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+func contains(xs []string, x string) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Objects converts a query result into uncertain data points for
+// clustering: the named numeric columns become feature coordinates and each
+// tuple's lineage conditions the point's existence — ENFrame's
+// loadData()-from-query path (§2).
+func (r *Relation) Objects(featureCols ...string) []lineage.Object {
+	idx := make([]int, len(featureCols))
+	for i, c := range featureCols {
+		idx[i] = r.col(c)
+	}
+	out := make([]lineage.Object, len(r.Tuples))
+	for i, t := range r.Tuples {
+		pos := make(vec.Vec, len(idx))
+		for d, j := range idx {
+			pos[d] = t.Values[j].F
+		}
+		out[i] = lineage.Object{ID: i, Pos: pos, Lineage: t.Lineage}
+	}
+	return out
+}

@@ -1,0 +1,277 @@
+package prob
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"enframe/internal/event"
+	"enframe/internal/network"
+)
+
+// ErrNoTargets is returned when the network declares no compilation targets.
+var ErrNoTargets = errors.New("prob: network has no compilation targets")
+
+// Compile computes probability bounds for every compilation target of the
+// network (Algorithm 1). Exact compilation runs until the bounds meet; the
+// approximation strategies guarantee Upper − Lower ≤ 2·Epsilon per target
+// unless the timeout fires first.
+func Compile(net *network.Net, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if len(net.Targets) == 0 {
+		return nil, ErrNoTargets
+	}
+	types, err := net.Types()
+	if err != nil {
+		return nil, err
+	}
+	eps2 := 0.0
+	if opts.Strategy != Exact {
+		eps2 = 2 * opts.Epsilon
+	}
+	run := &runner{
+		net:    net,
+		types:  types,
+		opts:   opts,
+		order:  computeOrder(net, opts),
+		bounds: newBoundsBook(len(net.Targets), eps2),
+	}
+	if opts.Timeout > 0 {
+		run.deadline = time.Now().Add(opts.Timeout)
+	}
+	start := time.Now()
+	var stats Stats
+	switch {
+	case opts.Workers > 1 && opts.SimulateWorkers:
+		stats = run.runSimulated()
+	case opts.Workers > 1:
+		stats = run.runDistributed()
+	default:
+		stats = run.runSequential()
+	}
+	stats.Duration = time.Since(start)
+	stats.NetworkNodes = net.NumNodes()
+	lo, hi := run.bounds.snapshot()
+	res := &Result{Stats: stats, TimedOut: run.timedOut.Load()}
+	for i, t := range net.Targets {
+		// Clamp float round-off at the [0, 1] borders.
+		l, h := lo[i], hi[i]
+		if l < 0 {
+			l = 0
+		}
+		if h > 1 {
+			h = 1
+		}
+		if h < l {
+			h = l
+		}
+		res.Targets = append(res.Targets, TargetBound{Name: t.Name, Lower: l, Upper: h})
+	}
+	return res, nil
+}
+
+// runner holds the pieces shared by all workers of one compilation.
+type runner struct {
+	net      *network.Net
+	types    []network.ValueType
+	opts     Options
+	order    []event.VarID
+	bounds   *boundsBook
+	deadline time.Time
+	stop     atomic.Bool // set on timeout or external abort
+	timedOut atomic.Bool
+	pristine *state // shared post-init snapshot for distributed jobs
+}
+
+func (r *runner) runSequential() Stats {
+	s := r.attach(newState(r.net, r.types, r.opts, r.bounds))
+	s.initAll()
+	w := &walker{state: s, run: r}
+	E := make([]float64, len(r.net.Targets))
+	if r.opts.Strategy.budgeted() {
+		for i := range E {
+			E[i] = 2 * r.opts.Epsilon
+		}
+	}
+	w.dfs(0, 0, -1, false, 1, E)
+	s.stats.Jobs = 1
+	return s.stats
+}
+
+// attach wires the runner's order and abort machinery into a worker state.
+func (r *runner) attach(s *state) *state {
+	s.order = r.order
+	s.deadline = r.deadline
+	s.stopFlag = &r.stop
+	s.timedFlag = &r.timedOut
+	return s
+}
+
+// walker runs the depth-first Shannon expansion over one state. In
+// distributed mode forkDepth > 0 makes it enqueue a continuation job instead
+// of descending past that many local assignments.
+type walker struct {
+	state     *state
+	run       *runner
+	forkDepth int
+	// fork ships the current masks as a new job; it reports false when
+	// the queue is saturated, in which case the walker descends locally.
+	fork func(oi int, p float64, E []float64) bool
+	// localVars counts assignments made since the current job's root.
+	localVars int
+	bufs      [][]float64
+}
+
+// dfs explores the branch extending the current assignment by x ↦ xval
+// (x < 0 at the root) with branch mass p and per-target error budgets E.
+// It mutates E in place to the residual budgets (Algorithm 1, blue lines);
+// for non-budgeted strategies E stays untouched.
+func (w *walker) dfs(depth, oi int, x event.VarID, xval bool, p float64, E []float64) {
+	s := w.state
+	r := w.run
+	s.stats.Branches++
+	if s.stats.Branches&1023 == 0 {
+		r.checkDeadline()
+	}
+	if r.stop.Load() || p == 0 {
+		return
+	}
+	budgeted := r.opts.Strategy.budgeted()
+	// Budget pruning: when every target's budget covers the whole subtree
+	// mass, cut the subtree and consume the budget.
+	if budgeted && p <= minOf(E) {
+		s.stats.BudgetPrunes++
+		for i := range E {
+			E[i] -= p
+		}
+		return
+	}
+	mark := len(s.trail)
+	if x >= 0 {
+		s.assign(x, xval, p)
+		w.localVars++
+	}
+
+	switch {
+	case s.allSettled():
+		// Every target masked on this branch or globally tight.
+
+	case w.forkDepth > 0 && w.localVars > 0 && w.localVars%w.forkDepth == 0 &&
+		w.fork(oi, p, E):
+		// Distributed fork boundary: the masks and budget travelled with
+		// the job. When the queue is saturated, fork reports false and
+		// the walker keeps descending locally instead.
+		if budgeted {
+			for i := range E {
+				E[i] = 0
+			}
+		}
+
+	default:
+		oi2, y, ok := s.nextVar(oi)
+		if ok {
+			py := s.net.Space.Prob(y)
+			switch r.opts.Strategy {
+			case Hybrid:
+				L := w.buf(depth, len(E))
+				for i := range E {
+					L[i] = E[i] / 2
+				}
+				w.dfs(depth+1, oi2+1, y, true, p*py, L)
+				for i := range E {
+					E[i] = E[i]/2 + L[i]
+				}
+			default:
+				// Exact and lazy carry no budget; eager hands the full
+				// remaining budget to the left branch in place.
+				w.dfs(depth+1, oi2+1, y, true, p*py, E)
+			}
+			// Algorithm 1: explore the right branch only while some
+			// target's bounds exceed 2ε.
+			if !r.stop.Load() && !s.bounds.allTight() {
+				w.dfs(depth+1, oi2+1, y, false, p*(1-py), E)
+			}
+		}
+		// !ok is unreachable while targets are unmasked: an undecided
+		// node always has an undecided child, so some influential
+		// variable exists (see nextVar).
+	}
+
+	if x >= 0 {
+		w.localVars--
+		s.undoTo(mark)
+	}
+}
+
+func (w *walker) buf(depth, n int) []float64 {
+	for len(w.bufs) <= depth {
+		w.bufs = append(w.bufs, make([]float64, n))
+	}
+	return w.bufs[depth]
+}
+
+// nextVar returns the next influential unassigned variable at or after
+// order position oi. Variables whose direct uses are all masked cannot
+// change any event and are skipped (their mass marginalises out).
+func (s *state) nextVar(oi int) (int, event.VarID, bool) {
+	for ; oi < len(s.order); oi++ {
+		x := s.order[oi]
+		id := s.net.VarNode[x]
+		if s.masks[id].bval != bUnknown {
+			continue // assigned on this branch
+		}
+		if s.opts.SkipDisabled {
+			return oi, x, true
+		}
+		if s.targetsAt[id] >= 0 {
+			return oi, x, true // the leaf itself is a compilation target
+		}
+		for _, pid := range s.net.Parents[id] {
+			pm := &s.masks[pid]
+			if s.net.Nodes[pid].Kind.IsBool() {
+				if pm.bval == bUnknown {
+					return oi, x, true
+				}
+			} else if !pm.decided() {
+				return oi, x, true
+			}
+		}
+	}
+	return oi, -1, false
+}
+
+// allSettled reports the termination condition of Algorithm 1: every target
+// masked on this branch or already within 2ε globally.
+func (s *state) allSettled() bool {
+	if s.nUnmasked == 0 {
+		return true
+	}
+	if s.bounds.allTight() {
+		return true
+	}
+	if s.bounds.eps2 == 0 {
+		return false // exact: tight only at full convergence
+	}
+	nTight := int64(len(s.tMasked)) - s.bounds.nLoose.Load()
+	if int64(s.nUnmasked) > nTight {
+		return false // pigeonhole: some target is neither masked nor tight
+	}
+	return s.bounds.settledWith(s.tMasked)
+}
+
+func (r *runner) checkDeadline() {
+	if !r.deadline.IsZero() && time.Now().After(r.deadline) {
+		r.timedOut.Store(true)
+		r.stop.Store(true)
+	}
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

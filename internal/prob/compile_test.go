@@ -1,0 +1,254 @@
+package prob
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"enframe/internal/event"
+	"enframe/internal/network"
+	"enframe/internal/worlds"
+)
+
+// randomNet builds a random event network over nVars variables with
+// nTargets Boolean targets mixing propositional structure, conditional
+// values, sums, and comparisons — the node mix of clustering programs.
+func randomNet(rng *rand.Rand, nVars, nTargets int) *network.Net {
+	sp := event.NewSpace()
+	for i := 0; i < nVars; i++ {
+		sp.Add(fmt.Sprintf("x%d", i), 0.2+0.6*rng.Float64())
+	}
+	b := network.NewBuilder(sp, nil)
+	vars := make([]network.NodeID, nVars)
+	for i := range vars {
+		vars[i] = b.Var(event.VarID(i))
+	}
+	var randBool func(d int) network.NodeID
+	var randNum func(d int) network.NodeID
+	randBool = func(d int) network.NodeID {
+		if d == 0 {
+			return vars[rng.Intn(nVars)]
+		}
+		switch rng.Intn(6) {
+		case 0:
+			return b.Not(randBool(d - 1))
+		case 1:
+			return b.And(randBool(d-1), randBool(d-1))
+		case 2:
+			return b.Or(randBool(d-1), randBool(d-1))
+		case 3:
+			ops := []event.CmpOp{event.LE, event.LT, event.GE, event.GT, event.EQ}
+			return b.Cmp(ops[rng.Intn(len(ops))], randNum(d-1), randNum(d-1))
+		default:
+			return vars[rng.Intn(nVars)]
+		}
+	}
+	randNum = func(d int) network.NodeID {
+		if d == 0 {
+			return b.CondVal(randBool(0), event.Num(float64(rng.Intn(7)-3)))
+		}
+		switch rng.Intn(4) {
+		case 0:
+			return b.Sum(randNum(d-1), randNum(d-1), randNum(d-1))
+		case 1:
+			return b.Guard(randBool(d-1), randNum(d-1))
+		case 2:
+			return b.CondVal(randBool(d-1), event.Num(float64(rng.Intn(7)-3)))
+		default:
+			return b.ConstNum(event.Num(float64(rng.Intn(5))))
+		}
+	}
+	for t := 0; t < nTargets; t++ {
+		b.Target(fmt.Sprintf("t%d", t), randBool(3))
+	}
+	return b.Build()
+}
+
+// exactByEnumeration computes target probabilities by full world
+// enumeration using the independent network evaluator.
+func exactByEnumeration(net *network.Net) []float64 {
+	probs := make([]float64, len(net.Targets))
+	worlds.Enumerate(net.Space, func(nu event.SliceValuation, p float64) bool {
+		a := net.Eval(nu)
+		for i, t := range net.Targets {
+			if a.Bools[t.Node] {
+				probs[i] += p
+			}
+		}
+		return true
+	})
+	return probs
+}
+
+func TestCompileExactMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		net := randomNet(rng, 3+rng.Intn(8), 1+rng.Intn(4))
+		want := exactByEnumeration(net)
+		res, err := Compile(net, Options{Strategy: Exact})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i, tb := range res.Targets {
+			if tb.Gap() > 1e-9 {
+				t.Fatalf("trial %d target %s: exact bounds did not converge: [%g, %g]",
+					trial, tb.Name, tb.Lower, tb.Upper)
+			}
+			if !almost(tb.Lower, want[i], 1e-9) {
+				t.Fatalf("trial %d target %s: got %g, want %g",
+					trial, tb.Name, tb.Lower, want[i])
+			}
+		}
+	}
+}
+
+func TestCompileRefMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 40; trial++ {
+		net := randomNet(rng, 3+rng.Intn(7), 1+rng.Intn(3))
+		want := exactByEnumeration(net)
+		res, err := CompileRef(net, Options{Strategy: Exact})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i, tb := range res.Targets {
+			if tb.Gap() > 1e-9 || !almost(tb.Lower, want[i], 1e-9) {
+				t.Fatalf("trial %d target %s: got [%g, %g], want %g",
+					trial, tb.Name, tb.Lower, tb.Upper, want[i])
+			}
+		}
+	}
+}
+
+func TestApproximationBoundsContainTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	const eps = 0.1
+	for trial := 0; trial < 40; trial++ {
+		net := randomNet(rng, 4+rng.Intn(8), 1+rng.Intn(4))
+		want := exactByEnumeration(net)
+		for _, strat := range []Strategy{Eager, Lazy, Hybrid} {
+			res, err := Compile(net, Options{Strategy: strat, Epsilon: eps})
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, strat, err)
+			}
+			for i, tb := range res.Targets {
+				if want[i] < tb.Lower-1e-9 || want[i] > tb.Upper+1e-9 {
+					t.Fatalf("trial %d %v target %s: truth %g outside [%g, %g]",
+						trial, strat, tb.Name, want[i], tb.Lower, tb.Upper)
+				}
+				if tb.Gap() > 2*eps+1e-9 {
+					t.Fatalf("trial %d %v target %s: gap %g exceeds 2ε",
+						trial, strat, tb.Name, tb.Gap())
+				}
+				if e := tb.Estimate(); e < want[i]-eps-1e-9 || e > want[i]+eps+1e-9 {
+					t.Fatalf("trial %d %v target %s: estimate %g not within ε of %g",
+						trial, strat, tb.Name, e, want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 30; trial++ {
+		net := randomNet(rng, 5+rng.Intn(8), 1+rng.Intn(4))
+		want := exactByEnumeration(net)
+		for _, d := range []int{1, 2, 3, 5} {
+			res, err := Compile(net, Options{Strategy: Exact, Workers: 4, JobDepth: d})
+			if err != nil {
+				t.Fatalf("trial %d d=%d: %v", trial, d, err)
+			}
+			for i, tb := range res.Targets {
+				if tb.Gap() > 1e-9 || !almost(tb.Lower, want[i], 1e-9) {
+					t.Fatalf("trial %d d=%d target %s: got [%g, %g], want %g",
+						trial, d, tb.Name, tb.Lower, tb.Upper, want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDistributedHybridBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	const eps = 0.05
+	for trial := 0; trial < 20; trial++ {
+		net := randomNet(rng, 6+rng.Intn(8), 1+rng.Intn(3))
+		want := exactByEnumeration(net)
+		res, err := Compile(net, Options{Strategy: Hybrid, Epsilon: eps, Workers: 8, JobDepth: 3})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i, tb := range res.Targets {
+			if want[i] < tb.Lower-1e-9 || want[i] > tb.Upper+1e-9 {
+				t.Fatalf("trial %d target %s: truth %g outside [%g, %g]",
+					trial, tb.Name, want[i], tb.Lower, tb.Upper)
+			}
+		}
+	}
+}
+
+func TestCompileNoTargets(t *testing.T) {
+	sp := event.NewSpace()
+	sp.Add("x", 0.5)
+	b := network.NewBuilder(sp, nil)
+	b.Var(0)
+	net := b.Build()
+	if _, err := Compile(net, Options{}); err != ErrNoTargets {
+		t.Errorf("got %v, want ErrNoTargets", err)
+	}
+}
+
+func TestCompileConstantTargets(t *testing.T) {
+	sp := event.NewSpace()
+	x := sp.Add("x", 0.5)
+	b := network.NewBuilder(sp, nil)
+	b.Target("always", b.Or(b.Var(x), b.Not(b.Var(x))))
+	b.Target("never", b.And(b.Var(x), b.Not(b.Var(x))))
+	net := b.Build()
+	res, err := Compile(net, Options{Strategy: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, _ := res.Target("always")
+	nv, _ := res.Target("never")
+	if !almost(at.Lower, 1, 1e-12) || at.Gap() > 1e-12 {
+		t.Errorf("tautology bounds [%g, %g], want [1, 1]", at.Lower, at.Upper)
+	}
+	if !almost(nv.Upper, 0, 1e-12) || nv.Gap() > 1e-12 {
+		t.Errorf("contradiction bounds [%g, %g], want [0, 0]", nv.Lower, nv.Upper)
+	}
+}
+
+func almost(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+func TestSimulatedDistributedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 20; trial++ {
+		net := randomNet(rng, 5+rng.Intn(7), 1+rng.Intn(3))
+		want := exactByEnumeration(net)
+		res, err := Compile(net, Options{Strategy: Exact, Workers: 8, JobDepth: 2, SimulateWorkers: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Stats.SimulatedMakespan <= 0 {
+			t.Fatalf("trial %d: no simulated makespan", trial)
+		}
+		if res.Stats.SimulatedMakespan > res.Stats.Duration {
+			t.Fatalf("trial %d: makespan %v exceeds real duration %v",
+				trial, res.Stats.SimulatedMakespan, res.Stats.Duration)
+		}
+		for i, tb := range res.Targets {
+			if tb.Gap() > 1e-9 || !almost(tb.Lower, want[i], 1e-9) {
+				t.Fatalf("trial %d target %s: got [%g, %g], want %g",
+					trial, tb.Name, tb.Lower, tb.Upper, want[i])
+			}
+		}
+	}
+}

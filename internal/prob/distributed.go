@@ -1,0 +1,320 @@
+package prob
+
+import (
+	"sync"
+	"time"
+
+	"enframe/internal/vec"
+)
+
+// Distributed compilation (§4.4): the decision tree is split into jobs of
+// depth d (Options.JobDepth). A worker explores a fragment from its root;
+// whenever it crosses a depth-d boundary it forks a continuation job instead
+// of descending. As in the paper, a job ships the mask at job creation (a
+// snapshot of the per-node mask array) together with its branch probability
+// and error budgets; bounds are merged in the shared boundsBook and residual
+// budgets synchronise through a shared pool at job start and end. The queue
+// applies backpressure: when enough jobs are pending, workers descend past
+// the boundary locally instead of forking, bounding queue memory.
+
+type job struct {
+	masks     []nmask
+	vecVals   []vec.Vec
+	tMasked   []bool
+	nUnmasked int
+	oi        int
+	p         float64
+	E         []float64
+}
+
+type workQueue struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	jobs        []job
+	outstanding int
+	closed      bool
+	maxPending  int
+}
+
+func newWorkQueue(maxPending int) *workQueue {
+	q := &workQueue{maxPending: maxPending}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// hasRoom reports whether forking another job is worthwhile; racy reads are
+// fine, this is only backpressure.
+func (q *workQueue) hasRoom() bool {
+	q.mu.Lock()
+	room := len(q.jobs) < q.maxPending
+	q.mu.Unlock()
+	return room
+}
+
+// push enqueues a job.
+func (q *workQueue) push(j job) {
+	q.mu.Lock()
+	q.jobs = append(q.jobs, j)
+	q.outstanding++
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks for the next job; ok is false once all work is finished.
+func (q *workQueue) pop() (job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.jobs) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.jobs) == 0 {
+		return job{}, false
+	}
+	j := q.jobs[len(q.jobs)-1]
+	q.jobs[len(q.jobs)-1] = job{}
+	q.jobs = q.jobs[:len(q.jobs)-1]
+	return j, true
+}
+
+// done marks one job finished; when no work remains the queue closes and
+// all waiting workers drain out.
+func (q *workQueue) done() {
+	q.mu.Lock()
+	q.outstanding--
+	if q.outstanding == 0 {
+		q.closed = true
+		q.mu.Unlock()
+		q.cond.Broadcast()
+		return
+	}
+	q.mu.Unlock()
+}
+
+// budgetPool redistributes residual error budgets between jobs.
+type budgetPool struct {
+	mu   sync.Mutex
+	pool []float64
+}
+
+// deposit returns a job's residual budgets to the pool.
+func (b *budgetPool) deposit(E []float64) {
+	b.mu.Lock()
+	if b.pool == nil {
+		b.pool = make([]float64, len(E))
+	}
+	for i, e := range E {
+		if e > 0 {
+			b.pool[i] += e
+		}
+	}
+	b.mu.Unlock()
+}
+
+// withdraw moves the whole pooled budget into E.
+func (b *budgetPool) withdraw(E []float64) {
+	b.mu.Lock()
+	if b.pool != nil {
+		for i := range E {
+			E[i] += b.pool[i]
+			b.pool[i] = 0
+		}
+	}
+	b.mu.Unlock()
+}
+
+func (r *runner) runDistributed() Stats {
+	// The pristine state provides the root job's masks; its initial pass
+	// records targets decided without any assignment.
+	pristine := r.attach(newState(r.net, r.types, r.opts, r.bounds))
+	pristine.initAll()
+
+	queue := newWorkQueue(4 * r.opts.Workers)
+	pool := &budgetPool{}
+	E0 := make([]float64, len(r.net.Targets))
+	if r.opts.Strategy.budgeted() {
+		for i := range E0 {
+			E0[i] = 2 * r.opts.Epsilon
+		}
+	}
+	queue.push(job{
+		masks:     pristine.masks,
+		vecVals:   pristine.vecVals,
+		tMasked:   pristine.tMasked,
+		nUnmasked: pristine.nUnmasked,
+		oi:        0,
+		p:         1,
+		E:         E0,
+	})
+
+	var wg sync.WaitGroup
+	statsCh := make(chan Stats, r.opts.Workers)
+	for wi := 0; wi < r.opts.Workers; wi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := r.attach(newState(r.net, r.types, r.opts, r.bounds))
+			w := &walker{state: s, run: r, forkDepth: r.opts.JobDepth}
+			w.fork = func(oi int, p float64, E []float64) bool {
+				if !queue.hasRoom() {
+					return false
+				}
+				j := job{
+					masks:     append([]nmask(nil), s.masks...),
+					tMasked:   append([]bool(nil), s.tMasked...),
+					nUnmasked: s.nUnmasked,
+					oi:        oi,
+					p:         p,
+					E:         append([]float64(nil), E...),
+				}
+				if s.vecVals != nil {
+					j.vecVals = append([]vec.Vec(nil), s.vecVals...)
+				}
+				queue.push(j)
+				return true
+			}
+			for {
+				j, ok := queue.pop()
+				if !ok {
+					break
+				}
+				s.stats.Jobs++
+				r.runJob(w, pool, j)
+				queue.done()
+			}
+			statsCh <- s.stats
+		}()
+	}
+	wg.Wait()
+	close(statsCh)
+	var total Stats
+	for st := range statsCh {
+		total.Branches += st.Branches
+		total.Assignments += st.Assignments
+		total.MaskUpdates += st.MaskUpdates
+		total.BudgetPrunes += st.BudgetPrunes
+		total.Jobs += st.Jobs
+	}
+	total.MaskUpdates += pristine.stats.MaskUpdates
+	return total
+}
+
+// runJob adopts the job's shipped masks, tops the budget up from the shared
+// pool, explores the fragment, and deposits the residual budget.
+func (r *runner) runJob(w *walker, pool *budgetPool, j job) {
+	s := w.state
+	if r.opts.Strategy.budgeted() {
+		defer pool.deposit(j.E)
+	}
+	if r.stop.Load() || s.bounds.allTight() {
+		return
+	}
+	if debugHook != nil {
+		debugHook("job p=%g oi=%d unmasked=%d\n", j.p, j.oi, j.nUnmasked)
+	}
+	s.masks = j.masks
+	s.tMasked = j.tMasked
+	if j.vecVals != nil {
+		s.vecVals = j.vecVals
+	}
+	s.nUnmasked = j.nUnmasked
+	s.trail = s.trail[:0]
+	w.localVars = 0
+	if r.opts.Strategy.budgeted() {
+		pool.withdraw(j.E)
+	}
+	w.dfs(0, j.oi, -1, false, j.p, j.E)
+}
+
+// runSimulated executes the distributed algorithm on the calling goroutine
+// and schedules the measured job durations onto W virtual workers with an
+// event-driven list scheduler: a job becomes ready when its forking job
+// completes, and runs on the earliest-available worker. The resulting
+// makespan lands in Stats.SimulatedMakespan. This mirrors the paper's own
+// methodology ("timings reported for hybrid-d were obtained by simulating
+// distributed computation on a single machine", §5).
+func (r *runner) runSimulated() Stats {
+	pristine := r.attach(newState(r.net, r.types, r.opts, r.bounds))
+	pristine.initAll()
+
+	type simJob struct {
+		job
+		ready time.Duration
+	}
+	var stack []simJob
+	pool := &budgetPool{}
+	E0 := make([]float64, len(r.net.Targets))
+	if r.opts.Strategy.budgeted() {
+		for i := range E0 {
+			E0[i] = 2 * r.opts.Epsilon
+		}
+	}
+	stack = append(stack, simJob{
+		job: job{
+			masks:     pristine.masks,
+			vecVals:   pristine.vecVals,
+			tMasked:   pristine.tMasked,
+			nUnmasked: pristine.nUnmasked,
+			oi:        0,
+			p:         1,
+			E:         E0,
+		},
+	})
+
+	s := r.attach(newState(r.net, r.types, r.opts, r.bounds))
+	w := &walker{state: s, run: r, forkDepth: r.opts.JobDepth}
+	workers := make([]time.Duration, r.opts.Workers)
+	var forked []job
+	maxPending := 4 * r.opts.Workers
+	w.fork = func(oi int, p float64, E []float64) bool {
+		if len(stack)+len(forked) >= maxPending {
+			return false
+		}
+		j := job{
+			masks:     append([]nmask(nil), s.masks...),
+			tMasked:   append([]bool(nil), s.tMasked...),
+			nUnmasked: s.nUnmasked,
+			oi:        oi,
+			p:         p,
+			E:         append([]float64(nil), E...),
+		}
+		if s.vecVals != nil {
+			j.vecVals = append([]vec.Vec(nil), s.vecVals...)
+		}
+		forked = append(forked, j)
+		return true
+	}
+
+	var makespan time.Duration
+	for len(stack) > 0 {
+		sj := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		s.stats.Jobs++
+		forked = forked[:0]
+		t0 := time.Now()
+		r.runJob(w, pool, sj.job)
+		dur := time.Since(t0)
+		// Schedule onto the earliest-available worker, not before the
+		// forking job finished.
+		wi := 0
+		for i := 1; i < len(workers); i++ {
+			if workers[i] < workers[wi] {
+				wi = i
+			}
+		}
+		start := workers[wi]
+		if sj.ready > start {
+			start = sj.ready
+		}
+		end := start + dur
+		workers[wi] = end
+		if end > makespan {
+			makespan = end
+		}
+		for _, j := range forked {
+			stack = append(stack, simJob{job: j, ready: end})
+		}
+	}
+	s.stats.SimulatedMakespan = makespan
+	s.stats.MaskUpdates += pristine.stats.MaskUpdates
+	return s.stats
+}

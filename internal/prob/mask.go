@@ -1,0 +1,566 @@
+package prob
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"enframe/internal/event"
+	"enframe/internal/network"
+	"enframe/internal/vec"
+)
+
+// Three-valued Boolean masks.
+const (
+	bUnknown int8 = iota
+	bTrue
+	bFalse
+)
+
+// Decided-value kinds. vkNone marks an undecided numeric node; the other
+// kinds double as the decided flag.
+const (
+	vkNone uint8 = iota
+	vkUndef
+	vkScalar
+	vkVec
+)
+
+// Mask flags.
+const (
+	fMayU    uint8 = 1 << 0 // undefined outcome still possible
+	fMayDef  uint8 = 1 << 1 // defined outcome still possible
+	fBounded uint8 = 1 << 2 // lo/hi valid
+)
+
+// nmask is the mask of one network node under the current partial
+// assignment: a three-valued truth value for Boolean nodes, an abstract
+// value for numeric nodes. The struct is kept small (56 bytes) because mask
+// copies dominate compilation time: decided scalar values live in lo==hi,
+// decided vector values in the state's side pool.
+type nmask struct {
+	bval    int8
+	valKind uint8
+	flags   uint8
+	_       uint8
+	// c1 counts agreeing children (KAnd/KOr) or undecided children
+	// (numeric aggregates); c2–c4 are the Σ counters for children that
+	// may be undefined, may be defined, and have no usable bounds.
+	c1, c2, c3, c4 int32
+	// lo/hi bound the defined scalar outcomes; a decided scalar has
+	// lo == hi == value. sumLo/sumHi aggregate Σ child contributions.
+	lo, hi       float64
+	sumLo, sumHi float64
+}
+
+func (m *nmask) decided() bool { return m.valKind != vkNone }
+func (m *nmask) mayU() bool    { return m.flags&fMayU != 0 }
+func (m *nmask) mayDef() bool  { return m.flags&fMayDef != 0 }
+func (m *nmask) bounded() bool { return m.flags&fBounded != 0 }
+
+// setScalar finalises the mask to a defined scalar value.
+func (m *nmask) setScalar(v float64) {
+	m.valKind = vkScalar
+	m.flags = fMayDef | fBounded
+	m.lo, m.hi = v, v
+}
+
+// setUndef finalises the mask to u.
+func (m *nmask) setUndef() {
+	m.valKind = vkUndef
+	m.flags = fMayU | fBounded
+	m.lo, m.hi = math.Inf(1), math.Inf(-1)
+}
+
+// setVec finalises the mask to a defined vector value (stored by the caller
+// in the side pool).
+func (m *nmask) setVec() {
+	m.valKind = vkVec
+	m.flags = fMayDef
+}
+
+// state is the per-worker compilation state over a shared immutable network.
+type state struct {
+	net    *network.Net
+	types  []network.ValueType
+	opts   Options
+	bounds *boundsBook
+	stats  Stats
+	order  []event.VarID
+
+	// targetsAt[id] is -1 or an index into targetLists.
+	targetsAt   []int32
+	targetLists [][]int
+
+	masks []nmask
+	// vecVals holds decided vector values; entries are only read while
+	// the owning node is decided as vkVec, so stale values after undo are
+	// harmless. Nil when the network has no vector-typed nodes.
+	vecVals []vec.Vec
+	trail   []trailEntry
+	// level numbers assignments; trailedAt deduplicates trail entries so
+	// a node repeatedly tightened within one assignment wave is recorded
+	// once, with its mask from the start of the wave.
+	level     int32
+	trailedAt []int32
+	queue     []network.NodeID
+	queued    []bool
+	queuedOld []nmask
+
+	// nUnmasked counts targets not yet masked under the current branch;
+	// tMasked holds the same per target.
+	nUnmasked int
+	tMasked   []bool
+	// curMass is Pr(ν) of the assignment being propagated.
+	curMass float64
+	// deadline/stop/timedOut mirror the runner's abort machinery so even
+	// slow single branches notice timeouts promptly.
+	deadline   time.Time
+	stopFlag   *atomic.Bool
+	timedFlag  *atomic.Bool
+	assignTick uint32
+	// recording gates target-bound accumulation; it is off while a
+	// distributed worker replays a job's assignment prefix (the forking
+	// worker already credited targets masked within the prefix).
+	recording bool
+}
+
+type trailEntry struct {
+	id network.NodeID
+	m  nmask
+}
+
+func newState(net *network.Net, types []network.ValueType, opts Options, bounds *boundsBook) *state {
+	s := &state{
+		net:       net,
+		types:     types,
+		opts:      opts,
+		bounds:    bounds,
+		targetsAt: make([]int32, len(net.Nodes)),
+		masks:     make([]nmask, len(net.Nodes)),
+		trailedAt: make([]int32, len(net.Nodes)),
+		queued:    make([]bool, len(net.Nodes)),
+		queuedOld: make([]nmask, len(net.Nodes)),
+		recording: true,
+	}
+	for i := range s.targetsAt {
+		s.targetsAt[i] = -1
+		s.trailedAt[i] = -1
+	}
+	for i, t := range net.Targets {
+		if at := s.targetsAt[t.Node]; at >= 0 {
+			s.targetLists[at] = append(s.targetLists[at], i)
+		} else {
+			s.targetsAt[t.Node] = int32(len(s.targetLists))
+			s.targetLists = append(s.targetLists, []int{i})
+		}
+	}
+	for id, t := range types {
+		if t == network.TVector {
+			s.vecVals = make([]vec.Vec, len(net.Nodes))
+			_ = id
+			break
+		}
+	}
+	s.nUnmasked = len(net.Targets)
+	s.tMasked = make([]bool, len(net.Targets))
+	return s
+}
+
+// value reconstructs a decided node's extended value.
+func (s *state) value(id network.NodeID) event.Value {
+	m := &s.masks[id]
+	switch m.valKind {
+	case vkUndef:
+		return event.U
+	case vkScalar:
+		return event.Num(m.lo)
+	case vkVec:
+		return event.Vect(s.vecVals[id])
+	}
+	panic("prob: value of undecided node")
+}
+
+// setDecidedValue finalises a numeric mask from an extended value.
+func (s *state) setDecidedValue(id network.NodeID, m *nmask, v event.Value) {
+	switch v.Kind {
+	case event.Undef:
+		m.setUndef()
+	case event.Scalar:
+		m.setScalar(v.S)
+	case event.Vector:
+		m.setVec()
+		s.vecVals[id] = v.V
+	default:
+		panic("prob: boolean value in numeric mask")
+	}
+}
+
+// initAll computes the initial mask of every node bottom-up (node ids are
+// topologically ordered). It must run before the first assignment; targets
+// decided by the initial pass alone are recorded with the full unit mass.
+func (s *state) initAll() {
+	for id := range s.net.Nodes {
+		m := s.initNode(network.NodeID(id))
+		s.masks[id] = m
+		s.stats.MaskUpdates++
+		if at := s.targetsAt[id]; at >= 0 && m.bval != bUnknown {
+			tis := s.targetLists[at]
+			s.nUnmasked -= len(tis)
+			for _, ti := range tis {
+				s.tMasked[ti] = true
+				if s.recording {
+					s.bounds.add(ti, m.bval == bTrue, 1)
+				}
+			}
+		}
+	}
+}
+
+// snapshotFrom copies the post-init masks and counters of a pristine state;
+// used by distributed workers to reset between jobs without recomputing the
+// initial pass.
+func (s *state) snapshotFrom(pristine *state) {
+	copy(s.masks, pristine.masks)
+	copy(s.tMasked, pristine.tMasked)
+	if s.vecVals != nil {
+		copy(s.vecVals, pristine.vecVals)
+	}
+	s.nUnmasked = pristine.nUnmasked
+	s.trail = s.trail[:0]
+}
+
+// initNode derives a node's mask from its children's current masks. Used by
+// the initial pass; updateParent keeps masks incrementally in sync
+// afterwards.
+func (s *state) initNode(id network.NodeID) nmask {
+	nd := &s.net.Nodes[id]
+	var m nmask
+	switch nd.Kind {
+	case network.KVar:
+		m.bval = bUnknown
+	case network.KConst:
+		m.bval = boolMask(nd.B)
+	case network.KNot:
+		if c := s.masks[nd.Kids[0]].bval; c != bUnknown {
+			m.bval = negMask(c)
+		}
+	case network.KAnd:
+		m.bval = bUnknown
+		for _, k := range nd.Kids {
+			switch s.masks[k].bval {
+			case bFalse:
+				m.bval = bFalse
+			case bTrue:
+				m.c1++
+			}
+		}
+		if m.bval == bUnknown && int(m.c1) == len(nd.Kids) {
+			m.bval = bTrue
+		}
+	case network.KOr:
+		m.bval = bUnknown
+		for _, k := range nd.Kids {
+			switch s.masks[k].bval {
+			case bTrue:
+				m.bval = bTrue
+			case bFalse:
+				m.c1++
+			}
+		}
+		if m.bval == bUnknown && int(m.c1) == len(nd.Kids) {
+			m.bval = bFalse
+		}
+	case network.KCmp:
+		m.bval = s.deriveCmp(nd, &s.masks[nd.Kids[0]], &s.masks[nd.Kids[1]])
+	case network.KCondVal:
+		s.deriveCondVal(id, &m, nd, s.masks[nd.Kids[0]].bval)
+	case network.KGuard:
+		s.deriveGuard(id, &m, s.masks[nd.Kids[0]].bval, nd.Kids[1])
+	case network.KSum:
+		for _, k := range nd.Kids {
+			s.sumAccount(&m, &s.masks[k], +1)
+		}
+		s.deriveSum(&m, id)
+	case network.KProd, network.KInv, network.KPow, network.KDist:
+		for _, k := range nd.Kids {
+			if !s.masks[k].decided() {
+				m.c1++
+			}
+		}
+		s.deriveOpaque(&m, id, nd)
+	}
+	return m
+}
+
+func boolMask(b bool) int8 {
+	if b {
+		return bTrue
+	}
+	return bFalse
+}
+
+func negMask(v int8) int8 {
+	switch v {
+	case bTrue:
+		return bFalse
+	case bFalse:
+		return bTrue
+	}
+	return bUnknown
+}
+
+// deriveCondVal refreshes guard ⊗ val from the guard's truth value.
+func (s *state) deriveCondVal(id network.NodeID, m *nmask, nd *network.Node, g int8) {
+	switch g {
+	case bTrue:
+		s.setDecidedValue(id, m, nd.Val)
+	case bFalse:
+		m.setUndef()
+	default:
+		m.flags = fMayU
+		if !nd.Val.IsUndef() {
+			m.flags |= fMayDef
+		}
+		if nd.Val.Kind == event.Scalar {
+			m.flags |= fBounded
+			m.lo, m.hi = nd.Val.S, nd.Val.S
+		}
+	}
+}
+
+// deriveGuard refreshes guard ∧ v from the guard's truth value and the
+// value child's abstract.
+func (s *state) deriveGuard(id network.NodeID, m *nmask, g int8, vkid network.NodeID) {
+	vm := &s.masks[vkid]
+	switch g {
+	case bFalse:
+		m.setUndef()
+	case bTrue:
+		if vm.decided() {
+			m.valKind = vm.valKind
+			m.flags = vm.flags
+			m.lo, m.hi = vm.lo, vm.hi
+			if vm.valKind == vkVec {
+				s.vecVals[id] = s.vecVals[vkid]
+			}
+			return
+		}
+		m.valKind = vkNone
+		m.flags = vm.flags & (fMayU | fMayDef | fBounded)
+		m.lo, m.hi = vm.lo, vm.hi
+	default:
+		m.valKind = vkNone
+		m.flags = fMayU
+		if vm.mayDef() {
+			m.flags |= fMayDef
+		}
+		if lo, hi, _, ok := effBounds(vm); ok {
+			m.flags |= fBounded
+			m.lo, m.hi = lo, hi
+		}
+	}
+}
+
+// hasBounds reports whether the child's defined outcomes have known scalar
+// bounds (decided scalars and undefs always do; decided vectors never).
+func hasBounds(cm *nmask) bool {
+	if cm.decided() {
+		return cm.valKind != vkVec
+	}
+	return cm.bounded()
+}
+
+// sumContrib is a child's contribution interval to a Σ node: its value when
+// defined, or 0 when it is u (u is the identity of +).
+func sumContrib(cm *nmask) (lo, hi float64) {
+	if cm.decided() {
+		if cm.valKind == vkUndef {
+			return 0, 0
+		}
+		return cm.lo, cm.hi // decided scalar: lo == hi == value
+	}
+	lo, hi = cm.lo, cm.hi
+	if cm.mayU() {
+		lo = math.Min(lo, 0)
+		hi = math.Max(hi, 0)
+	}
+	return lo, hi
+}
+
+// sumAccount adds (sign=+1) or removes (sign=-1) a child's current abstract
+// from a Σ node's aggregates. Contribution sums cover exactly the children
+// with usable bounds; when the last unbounded child gains bounds the sums
+// are automatically complete.
+func (s *state) sumAccount(m *nmask, cm *nmask, sign int32) {
+	if !cm.decided() {
+		m.c1 += sign
+	}
+	if cm.mayU() {
+		m.c2 += sign
+	}
+	if cm.mayDef() {
+		m.c3 += sign
+	}
+	if !hasBounds(cm) {
+		m.c4 += sign
+	} else {
+		lo, hi := sumContrib(cm)
+		m.sumLo += float64(sign) * lo
+		m.sumHi += float64(sign) * hi
+	}
+}
+
+// deriveSum refreshes a Σ node's visible abstract from its aggregates.
+func (s *state) deriveSum(m *nmask, id network.NodeID) {
+	nd := &s.net.Nodes[id]
+	n := int32(len(nd.Kids))
+	if m.c1 == 0 {
+		// All children decided: recompute the exact value freshly in
+		// child order so leaves match the reference evaluation
+		// bit-for-bit.
+		if s.types[id] == network.TVector {
+			v := event.U
+			for _, k := range nd.Kids {
+				v = event.Add(v, s.value(k))
+			}
+			s.setDecidedValue(id, m, v)
+			return
+		}
+		sum := 0.0
+		defined := false
+		for _, k := range nd.Kids {
+			cm := &s.masks[k]
+			if cm.valKind == vkUndef {
+				continue
+			}
+			sum += cm.lo
+			defined = true
+		}
+		if defined {
+			m.setScalar(sum)
+		} else {
+			m.setUndef()
+		}
+		return
+	}
+	m.valKind = vkNone
+	m.flags = 0
+	if m.c2 == n {
+		m.flags |= fMayU
+	}
+	if m.c3 > 0 {
+		m.flags |= fMayDef
+	}
+	if s.types[id] == network.TScalar && m.c4 == 0 {
+		m.flags |= fBounded
+		m.lo, m.hi = m.sumLo, m.sumHi
+	} else {
+		m.lo, m.hi = 0, 0
+	}
+}
+
+// deriveOpaque handles KProd, KInv, KPow, KDist: these decide when all
+// children are decided (the value is then recomputed exactly), decide to u
+// early when any child is certainly undefined (u annihilates · and dist),
+// and otherwise stay conservatively unknown.
+func (s *state) deriveOpaque(m *nmask, id network.NodeID, nd *network.Node) {
+	for _, k := range nd.Kids {
+		if s.masks[k].valKind == vkUndef {
+			m.setUndef()
+			return
+		}
+	}
+	if m.c1 == 0 {
+		s.setDecidedValue(id, m, s.evalOpaque(nd))
+		return
+	}
+	m.valKind = vkNone
+	m.flags = fMayU | fMayDef
+	m.lo, m.hi = 0, 0
+}
+
+// evalOpaque computes the exact value of a fully decided KProd, KInv, KPow,
+// or KDist node from its children's decided values.
+func (s *state) evalOpaque(nd *network.Node) event.Value {
+	switch nd.Kind {
+	case network.KProd:
+		v := event.Num(1)
+		for _, k := range nd.Kids {
+			v = event.Mul(v, s.value(k))
+		}
+		return v
+	case network.KInv:
+		return event.Inv(s.value(nd.Kids[0]))
+	case network.KPow:
+		return event.PowVal(s.value(nd.Kids[0]), nd.Exp)
+	case network.KDist:
+		return event.DistVal(s.net.Metric, s.value(nd.Kids[0]), s.value(nd.Kids[1]))
+	}
+	panic("prob: evalOpaque on non-opaque node")
+}
+
+// effBounds returns the interval of a child's defined outcomes plus whether
+// u is still possible; ok is false when no useful bounds are known.
+func effBounds(cm *nmask) (lo, hi float64, mayU, ok bool) {
+	if cm.decided() {
+		if cm.valKind != vkScalar {
+			return 0, 0, cm.valKind == vkUndef, false
+		}
+		return cm.lo, cm.hi, false, true
+	}
+	if cm.bounded() && cm.mayDef() {
+		return cm.lo, cm.hi, cm.mayU(), true
+	}
+	return 0, 0, true, false
+}
+
+// deriveCmp decides a comparison atom from its children's abstracts: exact
+// when both sides are decided, true when either side is certainly undefined
+// (§3.2: comparisons involving u hold), and early from interval separation
+// with the safety slack otherwise.
+func (s *state) deriveCmp(nd *network.Node, lm, rm *nmask) int8 {
+	if lm.valKind == vkUndef || rm.valKind == vkUndef {
+		return bTrue
+	}
+	if lm.valKind == vkScalar && rm.valKind == vkScalar {
+		return boolMask(nd.Op.Holds(lm.lo, rm.lo))
+	}
+	llo, lhi, lMayU, lok := effBounds(lm)
+	rlo, rhi, rMayU, rok := effBounds(rm)
+	if !lok || !rok {
+		return bUnknown
+	}
+	sl := s.opts.Slack
+	// True when every defined combination satisfies the operator
+	// (undefined combinations are true regardless).
+	switch nd.Op {
+	case event.LE, event.LT:
+		if lhi <= rlo-sl {
+			return bTrue
+		}
+	case event.GE, event.GT:
+		if llo >= rhi+sl {
+			return bTrue
+		}
+	}
+	// False requires both sides certainly defined and the operator
+	// certainly violated.
+	if !lMayU && !rMayU {
+		switch nd.Op {
+		case event.LE, event.LT:
+			if llo >= rhi+sl {
+				return bFalse
+			}
+		case event.GE, event.GT:
+			if lhi <= rlo-sl {
+				return bFalse
+			}
+		case event.EQ:
+			if llo >= rhi+sl || rlo >= lhi+sl {
+				return bFalse
+			}
+		}
+	}
+	return bUnknown
+}

@@ -1,0 +1,245 @@
+package prob
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"enframe/internal/event"
+	"enframe/internal/network"
+)
+
+// boundsBook holds the shared lower/upper probability bounds of all
+// compilation targets. It is safe for concurrent use by distributed workers;
+// bounds only tighten, and a target whose gap reaches 2ε is marked tight
+// exactly once.
+type boundsBook struct {
+	mu     sync.Mutex
+	lo, hi []float64
+	eps2   float64
+	tight  []bool
+	nLoose atomic.Int64
+}
+
+func newBoundsBook(n int, eps2 float64) *boundsBook {
+	b := &boundsBook{
+		lo:    make([]float64, n),
+		hi:    make([]float64, n),
+		eps2:  eps2,
+		tight: make([]bool, n),
+	}
+	for i := range b.hi {
+		b.hi[i] = 1
+	}
+	loose := int64(0)
+	for i := range b.tight {
+		if 1 <= eps2 {
+			b.tight[i] = true
+		} else {
+			loose++
+		}
+	}
+	b.nLoose.Store(loose)
+	return b
+}
+
+// add records that a target was masked true (mass joins the lower bound) or
+// false (mass leaves the upper bound) on a branch of probability p.
+func (b *boundsBook) add(ti int, isTrue bool, p float64) {
+	b.mu.Lock()
+	if debugHook != nil {
+		debugHook("bounds.add t%d %t mass=%g\n", ti, isTrue, p)
+	}
+	if isTrue {
+		b.lo[ti] += p
+	} else {
+		b.hi[ti] -= p
+	}
+	if !b.tight[ti] && b.hi[ti]-b.lo[ti] <= b.eps2 {
+		b.tight[ti] = true
+		b.nLoose.Add(-1)
+	}
+	b.mu.Unlock()
+}
+
+// allTight reports whether every target's bounds are within 2ε.
+func (b *boundsBook) allTight() bool { return b.nLoose.Load() == 0 }
+
+// settledWith reports whether every target is either branch-masked (per the
+// caller's flags) or globally tight.
+func (b *boundsBook) settledWith(masked []bool) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, t := range b.tight {
+		if !t && !masked[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshot copies the current bounds.
+func (b *boundsBook) snapshot() (lo, hi []float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lo = append([]float64(nil), b.lo...)
+	hi = append([]float64(nil), b.hi...)
+	return lo, hi
+}
+
+// visibleChanged reports whether the externally observable part of a mask
+// changed — the part parents derive from. Aggregate counters and sums are
+// internal and do not propagate by themselves.
+func visibleChanged(a, b *nmask) bool {
+	return a.bval != b.bval ||
+		a.valKind != b.valKind ||
+		a.flags != b.flags ||
+		a.lo != b.lo || a.hi != b.hi
+}
+
+// commit records the old mask on the trail, installs the new one (already
+// written in place by the caller), updates target bookkeeping, and enqueues
+// the node for upward propagation when its visible abstract changed.
+func (s *state) commit(id network.NodeID, old *nmask) {
+	if s.trailedAt[id] != s.level {
+		s.trailedAt[id] = s.level
+		s.trail = append(s.trail, trailEntry{id: id, m: *old})
+	}
+	s.stats.MaskUpdates++
+	nm := &s.masks[id]
+	if !visibleChanged(old, nm) {
+		return
+	}
+	if at := s.targetsAt[id]; at >= 0 && nm.bval != bUnknown && old.bval == bUnknown {
+		tis := s.targetLists[at]
+		s.nUnmasked -= len(tis)
+		for _, ti := range tis {
+			s.tMasked[ti] = true
+			if s.recording {
+				s.bounds.add(ti, nm.bval == bTrue, s.curMass)
+			}
+		}
+	}
+	if !s.queued[id] {
+		s.queued[id] = true
+		s.queuedOld[id] = *old
+		s.queue = append(s.queue, id)
+	}
+}
+
+// assign pushes the valuation x ↦ v with branch mass p into the network and
+// propagates masks upward (Algorithm 2).
+func (s *state) assign(x event.VarID, v bool, p float64) {
+	s.stats.Assignments++
+	s.assignTick++
+	if s.assignTick&15 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		s.timedFlag.Store(true)
+		s.stopFlag.Store(true)
+	}
+	s.curMass = p
+	s.level++
+	id := s.net.VarNode[x]
+	if id == network.NoNode {
+		return
+	}
+	old := s.masks[id]
+	s.masks[id].bval = boolMask(v)
+	s.commit(id, &old)
+	s.propagate()
+}
+
+// propagate drains the work queue, updating parents of changed nodes.
+func (s *state) propagate() {
+	for i := 0; i < len(s.queue); i++ {
+		id := s.queue[i]
+		s.queued[id] = false
+		old := s.queuedOld[id]
+		for _, pid := range s.net.Parents[id] {
+			s.updateParent(pid, id, &old)
+		}
+	}
+	s.queue = s.queue[:0]
+}
+
+// updateParent refreshes one parent's mask after child changed from oldC to
+// its current mask. The parent mask is mutated in place; its previous value
+// goes to the trail.
+func (s *state) updateParent(pid, child network.NodeID, oldC *nmask) {
+	nd := &s.net.Nodes[pid]
+	pm := &s.masks[pid]
+	if nd.Kind.IsBool() {
+		if pm.bval != bUnknown {
+			return // already decided; the trail restores consistently
+		}
+	} else if pm.decided() {
+		return
+	}
+	old := *pm
+	newC := &s.masks[child]
+	switch nd.Kind {
+	case network.KNot:
+		pm.bval = negMask(newC.bval)
+	case network.KAnd:
+		if newC.bval == bFalse {
+			pm.bval = bFalse
+		} else if newC.bval == bTrue && oldC.bval != bTrue {
+			pm.c1++
+			if int(pm.c1) == len(nd.Kids) {
+				pm.bval = bTrue
+			}
+		}
+	case network.KOr:
+		if newC.bval == bTrue {
+			pm.bval = bTrue
+		} else if newC.bval == bFalse && oldC.bval != bFalse {
+			pm.c1++
+			if int(pm.c1) == len(nd.Kids) {
+				pm.bval = bFalse
+			}
+		}
+	case network.KCmp:
+		pm.bval = s.deriveCmp(nd, &s.masks[nd.Kids[0]], &s.masks[nd.Kids[1]])
+	case network.KCondVal:
+		*pm = nmask{}
+		s.deriveCondVal(pid, pm, nd, newC.bval)
+	case network.KGuard:
+		*pm = nmask{}
+		s.deriveGuard(pid, pm, s.masks[nd.Kids[0]].bval, nd.Kids[1])
+	case network.KSum:
+		s.sumAccount(pm, oldC, -1)
+		s.sumAccount(pm, newC, +1)
+		s.deriveSum(pm, pid)
+	case network.KProd, network.KInv, network.KPow, network.KDist:
+		if oldC.decided() != newC.decided() {
+			pm.c1--
+		}
+		s.deriveOpaque(pm, pid, nd)
+	default:
+		return
+	}
+	if *pm == old {
+		return
+	}
+	s.commit(pid, &old)
+}
+
+// undoTo backtracks the trail to a saved mark, restoring masks bit-exactly
+// and reopening targets that were masked past the mark.
+func (s *state) undoTo(mark int) {
+	for i := len(s.trail) - 1; i >= mark; i-- {
+		e := &s.trail[i]
+		cur := &s.masks[e.id]
+		if at := s.targetsAt[e.id]; at >= 0 && cur.bval != bUnknown && e.m.bval == bUnknown {
+			tis := s.targetLists[at]
+			s.nUnmasked += len(tis)
+			for _, ti := range tis {
+				s.tMasked[ti] = false
+			}
+		}
+		s.masks[e.id] = e.m
+	}
+	s.trail = s.trail[:mark]
+}
+
+// debugHook, when set by tests, receives tracing output.
+var debugHook func(format string, args ...any)

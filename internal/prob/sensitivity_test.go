@@ -1,0 +1,87 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"enframe/internal/event"
+	"enframe/internal/network"
+	"enframe/internal/worlds"
+)
+
+// TestSensitivityMatchesFiniteDifferences validates the conditional
+// decomposition against numeric differentiation of the enumerated
+// probability.
+func TestSensitivityMatchesFiniteDifferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 10; trial++ {
+		net := randomNet(rng, 4+rng.Intn(4), 1)
+		infl, err := Sensitivity(net, Options{Strategy: Exact}, net.Targets[0].Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probAt := func(x event.VarID, p float64) float64 {
+			orig := net.Space.Prob(x)
+			net.Space.SetProb(x, p)
+			defer net.Space.SetProb(x, orig)
+			total := 0.0
+			worlds.Enumerate(net.Space, func(nu event.SliceValuation, mass float64) bool {
+				if net.Eval(nu).Bools[net.Targets[0].Node] {
+					total += mass
+				}
+				return true
+			})
+			return total
+		}
+		for _, vi := range infl {
+			p := net.Space.Prob(vi.Var)
+			h := 0.01
+			if p < h || p > 1-h {
+				continue
+			}
+			fd := (probAt(vi.Var, p+h) - probAt(vi.Var, p-h)) / (2 * h)
+			if math.Abs(fd-vi.Derivative) > 1e-6 {
+				t.Fatalf("trial %d var %s: derivative %g vs finite difference %g",
+					trial, vi.Name, vi.Derivative, fd)
+			}
+			// Consistency: Pr = p·Pr|x + (1−p)·Pr|¬x.
+			want := probAt(vi.Var, p)
+			got := p*vi.CondTrue + (1-p)*vi.CondFalse
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d var %s: decomposition %g vs %g", trial, vi.Name, got, want)
+			}
+		}
+	}
+}
+
+func TestSensitivityUnknownTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	net := randomNet(rng, 4, 1)
+	if _, err := Sensitivity(net, Options{Strategy: Exact}, "nope"); err == nil {
+		t.Error("unknown target must fail")
+	}
+}
+
+func TestExplainRendersTopInfluences(t *testing.T) {
+	sp := event.NewSpace()
+	x := sp.Add("crucial", 0.5)
+	y := sp.Add("irrelevantish", 0.5)
+	b := newTestBuilder(sp)
+	// target = x ∨ (x ∧ y): y matters only a little.
+	tgt := b.Or(b.Var(x), b.And(b.Var(x), b.Var(y)))
+	b.Target("t", tgt)
+	net := b.Build()
+	s, err := Explain(net, Options{Strategy: Exact}, "t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "crucial") {
+		t.Errorf("explanation %q should lead with the crucial variable", s)
+	}
+}
+
+func newTestBuilder(sp *event.Space) *network.Builder {
+	return network.NewBuilder(sp, nil)
+}

@@ -1,0 +1,340 @@
+// Package translate turns user programs (internal/lang) into event programs
+// (§3.5): mutable program variables become sequences of immutable event
+// declarations whose names carry per-block assignment counters (the
+// getLabel construction of Example 3, including the copy declarations
+// emitted when a variable crosses a block boundary), arrays are flattened
+// to one identifier per element, and reduce_* calls become the aggregate
+// event expressions of the event language.
+package translate
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"enframe/internal/event"
+	"enframe/internal/lang"
+	"enframe/internal/lineage"
+)
+
+// External supplies the bindings for loadData(), loadParams(), and init(),
+// mirroring interp.External but producing symbolic events: loadData binds
+// O_l ≡ Φ(o_l) ⊗ o_l.
+type External struct {
+	Objects     []lineage.Object
+	Space       *event.Space
+	Matrix      [][]float64
+	Params      []int
+	InitIndices []int
+}
+
+// Result is a translated program: the grounded event program plus the final
+// symbolic bindings of every program variable.
+type Result struct {
+	Program *event.Program
+	finalB  map[string]event.Expr
+	finalN  map[string]event.NumExpr
+	labels  map[string]string
+}
+
+// BoolEvent returns the final Boolean event of a (flattened) variable
+// symbol such as "InCl[0][2]".
+func (r *Result) BoolEvent(sym string) (event.Expr, bool) {
+	e, ok := r.finalB[sym]
+	return e, ok
+}
+
+// NumEvent returns the final c-value of a variable symbol.
+func (r *Result) NumEvent(sym string) (event.NumExpr, bool) {
+	n, ok := r.finalN[sym]
+	return n, ok
+}
+
+// Label returns the last declared label of a variable symbol.
+func (r *Result) Label(sym string) (string, bool) {
+	l, ok := r.labels[sym]
+	return l, ok
+}
+
+// SymbolsWithPrefix returns the flattened Boolean variable symbols starting
+// with the given prefix, sorted lexicographically.
+func (r *Result) SymbolsWithPrefix(prefix string) []string {
+	var out []string
+	for sym := range r.finalB {
+		if strings.HasPrefix(sym, prefix) {
+			out = append(out, sym)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Translate validates and translates a user program over the given external
+// bindings.
+func Translate(prog *lang.Program, ext External) (*Result, error) {
+	if err := lang.Validate(prog); err != nil {
+		return nil, err
+	}
+	space := ext.Space
+	if space == nil {
+		space = event.NewSpace()
+	}
+	tr := &translator{
+		ext:    ext,
+		prog:   event.NewProgram(space),
+		vars:   map[string]tval{},
+		labels: map[string]*labelStack{},
+		frames: []*frame{{}},
+	}
+	if err := tr.stmts(prog.Stmts); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Program: tr.prog,
+		finalB:  map[string]event.Expr{},
+		finalN:  map[string]event.NumExpr{},
+		labels:  map[string]string{},
+	}
+	for name, v := range tr.vars {
+		tr.exportVal(res, name, v)
+	}
+	for sym, ls := range tr.labels {
+		res.labels[sym] = ls.last
+	}
+	return res, nil
+}
+
+func (tr *translator) exportVal(res *Result, sym string, v tval) {
+	if v.arr != nil {
+		for i, el := range v.arr {
+			tr.exportVal(res, fmt.Sprintf("%s[%d]", sym, i), el)
+		}
+		return
+	}
+	if v.none {
+		return
+	}
+	if b, ok := v.boolExpr(); ok {
+		res.finalB[sym] = b
+		return
+	}
+	if n, ok := v.numExpr(); ok {
+		res.finalN[sym] = n
+	}
+}
+
+// tval is a symbolic value: a compile-time constant, a Boolean event, a
+// c-value, an array, or the uninitialised placeholder.
+type tval struct {
+	none    bool
+	arr     []tval
+	isConst bool
+	constV  event.Value
+	ev      event.Expr
+	num     event.NumExpr
+}
+
+func constTV(v event.Value) tval { return tval{isConst: true, constV: v} }
+
+func boolTV(e event.Expr) tval { return tval{ev: e} }
+
+func numTV(n event.NumExpr) tval { return tval{num: n} }
+
+func noneTV() tval { return tval{none: true} }
+
+// boolExpr lifts the value to a Boolean event.
+func (v tval) boolExpr() (event.Expr, bool) {
+	if v.ev != nil {
+		return v.ev, true
+	}
+	if v.isConst && v.constV.Kind == event.Boolean {
+		if v.constV.B {
+			return event.True, true
+		}
+		return event.False, true
+	}
+	return nil, false
+}
+
+// numExpr lifts the value to a c-value.
+func (v tval) numExpr() (event.NumExpr, bool) {
+	if v.num != nil {
+		return v.num, true
+	}
+	if v.isConst && v.constV.Kind != event.Boolean {
+		return event.NewConstNum(v.constV), true
+	}
+	return nil, false
+}
+
+func (v tval) constInt() (int, bool) {
+	if !v.isConst || v.constV.Kind != event.Scalar {
+		return 0, false
+	}
+	i := int(v.constV.S)
+	if float64(i) != v.constV.S {
+		return 0, false
+	}
+	return i, true
+}
+
+// labelStack tracks the per-block assignment counters of one variable
+// symbol (getLabel, §3.5). counts[d] is the symbol's assignment counter in
+// the block at nesting depth d; counters for blocks the symbol has not been
+// assigned in yet sit at −1, which keeps labels unique across block
+// boundaries.
+type labelStack struct {
+	counts []int
+	last   string
+}
+
+func (ls *labelStack) render(sym string) string {
+	parts := make([]string, len(ls.counts))
+	for i, c := range ls.counts {
+		parts[i] = strconv.Itoa(c)
+	}
+	return sym + strings.Join(parts, ".")
+}
+
+type frame struct {
+	touched []string
+	seen    map[string]bool
+}
+
+func (f *frame) touch(sym string) {
+	if f.seen == nil {
+		f.seen = map[string]bool{}
+	}
+	if !f.seen[sym] {
+		f.seen[sym] = true
+		f.touched = append(f.touched, sym)
+	}
+}
+
+type translator struct {
+	ext    External
+	prog   *event.Program
+	vars   map[string]tval
+	labels map[string]*labelStack
+	frames []*frame
+}
+
+func (tr *translator) depth() int { return len(tr.frames) - 1 }
+
+// declare emits one event declaration under the label machinery.
+func (tr *translator) declare(label string, v tval) error {
+	if b, ok := v.boolExpr(); ok {
+		tr.prog.DeclareBool(label, b)
+		return nil
+	}
+	if n, ok := v.numExpr(); ok {
+		tr.prog.DeclareNum(label, n)
+		return nil
+	}
+	return fmt.Errorf("translate: cannot declare %q: value has no event form", label)
+}
+
+// assignSym records an assignment of a flattened variable symbol, emitting
+// the labelled declaration and returning its label. Vector-valued and
+// placeholder values are tracked without declarations.
+func (tr *translator) assignSym(sym string, v tval) error {
+	ls := tr.labels[sym]
+	d := tr.depth()
+	if ls == nil {
+		ls = &labelStack{}
+		tr.labels[sym] = ls
+	}
+	// Align the stack to the current depth, opening silent counter slots
+	// for blocks the symbol has not been touched in (reads emit the
+	// block-entry copies; plain writes need no copy).
+	for len(ls.counts) <= d {
+		ls.counts = append(ls.counts, -1)
+	}
+	ls.counts = ls.counts[:d+1]
+	ls.counts[d]++
+	label := ls.render(sym)
+	ls.last = label
+	tr.frames[d].touch(sym)
+	if v.none || (v.ev == nil && v.num == nil && !v.isConst) {
+		return nil
+	}
+	return tr.declare(label, v)
+}
+
+// readAlign emits the block-entry copy declarations of Example 3 (lines C
+// and F): the first read of a symbol inside a deeper block binds
+// label.(-1) ≡ current value.
+func (tr *translator) readAlign(sym string, v tval) error {
+	ls := tr.labels[sym]
+	if ls == nil {
+		return nil // externally bound values carry no labels
+	}
+	d := tr.depth()
+	for len(ls.counts) <= d {
+		ls.counts = append(ls.counts, -1)
+		label := ls.render(sym)
+		ls.last = label
+		tr.frames[len(ls.counts)-1].touch(sym)
+		if !v.none {
+			if err := tr.declare(label, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// pushFrame opens a loop block; popFrame closes it, emitting the exit-copy
+// assignments that carry each touched symbol back to the parent block
+// (Example 3, lines I and J).
+func (tr *translator) pushFrame() { tr.frames = append(tr.frames, &frame{}) }
+
+func (tr *translator) popFrame() error {
+	d := tr.depth()
+	f := tr.frames[d]
+	tr.frames = tr.frames[:d]
+	for _, sym := range f.touched {
+		ls := tr.labels[sym]
+		if ls == nil || len(ls.counts) != d+1 {
+			continue
+		}
+		ls.counts = ls.counts[:d]
+		v, ok := tr.lookupSym(sym)
+		if !ok {
+			continue
+		}
+		if err := tr.assignSym(sym, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lookupSym resolves a flattened element symbol like "M[1][2]" against the
+// variable environment.
+func (tr *translator) lookupSym(sym string) (tval, bool) {
+	name := sym
+	var idx []int
+	if i := strings.IndexByte(sym, '['); i >= 0 {
+		name = sym[:i]
+		for _, part := range strings.Split(sym[i+1:len(sym)-1], "][") {
+			n, err := strconv.Atoi(part)
+			if err != nil {
+				return tval{}, false
+			}
+			idx = append(idx, n)
+		}
+	}
+	v, ok := tr.vars[name]
+	if !ok {
+		return tval{}, false
+	}
+	for _, ix := range idx {
+		if v.arr == nil || ix < 0 || ix >= len(v.arr) {
+			return tval{}, false
+		}
+		v = v.arr[ix]
+	}
+	return v, true
+}

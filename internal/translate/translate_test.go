@@ -1,0 +1,258 @@
+package translate
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"enframe/internal/event"
+	"enframe/internal/interp"
+	"enframe/internal/lang"
+	"enframe/internal/lineage"
+	"enframe/internal/vec"
+	"enframe/internal/worlds"
+)
+
+// TestExampleThreeLabels reproduces the label sequence of the paper's
+// Example 3 exactly, including the block-entry and block-exit copy
+// declarations.
+func TestExampleThreeLabels(t *testing.T) {
+	prog := lang.MustParse(lang.Example3Source)
+	res, err := Translate(prog, External{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"M0",                         // M ≡ 7
+		"M1",                         // M ≡ M0 + 2
+		"M1.-1",                      // block entry copy (line C)
+		"M1.0",                       // i = 0 assignment (line E)
+		"M1.0.-1",                    // inner block entry copy (line F)
+		"M1.0.0", "M1.0.1", "M1.0.2", // inner assignments (line H)
+		"M1.1", // inner block exit copy (line I)
+		"M1.2", // i = 1 assignment
+		"M1.2.-1",
+		"M1.2.0", "M1.2.1", "M1.2.2",
+		"M1.3",
+		"M2", // outer block exit copy (line J)
+		"M3", // final assignment (line K)
+	}
+	got := res.Program.Names()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("labels:\n got %v\nwant %v", got, want)
+	}
+	// The final value must match the interpreter: 7+2, +0, +3·1, +1, +3·1, +1.
+	n, ok := res.NumEvent("M")
+	if !ok {
+		t.Fatal("no final numeric binding for M")
+	}
+	v := event.EvalNum(n, event.MapValuation{}, nil)
+	if !v.Equal(event.Num(17)) {
+		t.Fatalf("final M = %v, want 17", v)
+	}
+}
+
+// diffProgram runs the translate-vs-interpret differential test: for every
+// world, evaluating the translated events must equal running the program in
+// that world with absent objects bound to u.
+func diffProgram(t *testing.T, src string, ext External, metric vec.Distance, syms []string) {
+	t.Helper()
+	prog := lang.MustParse(src)
+	res, err := Translate(prog, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := lineage.Events(ext.Objects)
+	worlds.Enumerate(ext.Space, func(nu event.SliceValuation, p float64) bool {
+		present := worlds.Presence(evs, nu)
+		w, err := interp.Run(prog, interp.External{
+			Objects:     ext.Objects,
+			Present:     present,
+			Matrix:      ext.Matrix,
+			Params:      ext.Params,
+			InitIndices: ext.InitIndices,
+			Metric:      metric,
+		})
+		if err != nil {
+			t.Fatalf("interp: %v", err)
+		}
+		ev := event.NewEvaluator(nu, metric)
+		for _, sym := range syms {
+			var got event.Value
+			if b, ok := res.BoolEvent(sym); ok {
+				got = event.Bool(ev.EvalExpr(b))
+			} else if n, ok := res.NumEvent(sym); ok {
+				got = ev.EvalNum(n)
+			} else {
+				t.Fatalf("no translated binding for %s", sym)
+			}
+			want, err := lookupWorldValue(w, sym)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.AlmostEqual(want, 1e-9) && !got.Equal(want) {
+				t.Fatalf("world %v: %s: translated %v vs interpreted %v", nu, sym, got, want)
+			}
+		}
+		return true
+	})
+}
+
+// lookupWorldValue resolves a flattened symbol like "InCl[1][2]" in the
+// interpreter's final environment.
+func lookupWorldValue(w *interp.World, sym string) (event.Value, error) {
+	name := sym
+	var idx []int
+	if i := indexByte(sym, '['); i >= 0 {
+		name = sym[:i]
+		rest := sym[i:]
+		for len(rest) > 0 {
+			j := indexByte(rest, ']')
+			var n int
+			fmt.Sscanf(rest[1:j], "%d", &n)
+			idx = append(idx, n)
+			rest = rest[j+1:]
+		}
+	}
+	v, ok := w.Var(name)
+	if !ok {
+		return event.Value{}, fmt.Errorf("no interpreter variable %q", name)
+	}
+	for _, ix := range idx {
+		if !v.IsArr() || ix >= len(v.Arr) {
+			return event.Value{}, fmt.Errorf("bad index path %s", sym)
+		}
+		v = v.Arr[ix]
+	}
+	if v.None {
+		return event.Value{}, fmt.Errorf("%s is uninitialised", sym)
+	}
+	return v.V, nil
+}
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func uncertainObjects(t *testing.T, rng *rand.Rand, n int, scheme lineage.Scheme) ([]lineage.Object, *event.Space) {
+	t.Helper()
+	pts := make([]vec.Vec, n)
+	for i := range pts {
+		pts[i] = vec.New(float64(rng.Intn(25)), float64(rng.Intn(25)))
+	}
+	objs, space, err := lineage.Attach(pts, lineage.Config{
+		Scheme: scheme, GroupSize: 2, NumVars: 4, L: 2, M: 3, Seed: rng.Int63(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return objs, space
+}
+
+// TestKMedoidsTranslationMatchesInterpreter checks the generic translation
+// of Figure 1 against the per-world interpreter on every world.
+func TestKMedoidsTranslationMatchesInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 6; trial++ {
+		objs, space := uncertainObjects(t, rng, 5, lineage.Scheme(trial%4))
+		ext := External{
+			Objects: objs, Space: space,
+			Params:      []int{2, 2}, // k, iter
+			InitIndices: []int{0, 1},
+		}
+		var syms []string
+		for i := 0; i < 2; i++ {
+			for l := 0; l < len(objs); l++ {
+				syms = append(syms, fmt.Sprintf("InCl[%d][%d]", i, l))
+				syms = append(syms, fmt.Sprintf("Centre[%d][%d]", i, l))
+			}
+		}
+		diffProgram(t, lang.KMedoidsSource, ext, vec.SquaredEuclidean, syms)
+	}
+}
+
+// TestKMeansTranslationMatchesInterpreter checks Figure 2 end to end,
+// including the vector-valued centroid c-values.
+func TestKMeansTranslationMatchesInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 6; trial++ {
+		objs, space := uncertainObjects(t, rng, 4, lineage.Scheme(trial%4))
+		ext := External{
+			Objects: objs, Space: space,
+			Params:      []int{2, 2},
+			InitIndices: []int{0, 1},
+		}
+		syms := []string{"M[0]", "M[1]"}
+		for i := 0; i < 2; i++ {
+			for l := 0; l < len(objs); l++ {
+				syms = append(syms, fmt.Sprintf("InCl[%d][%d]", i, l))
+			}
+		}
+		diffProgram(t, lang.KMeansSource, ext, vec.SquaredEuclidean, syms)
+	}
+}
+
+// TestMCLTranslationMatchesInterpreter checks Figure 3: a numeric program
+// with products, powers, and inversions over a certain matrix.
+func TestMCLTranslationMatchesInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 4
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	// A small symmetric stochastic-ish matrix.
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			w := rng.Float64()
+			m[i][j], m[j][i] = w, w
+		}
+	}
+	pts := make([]vec.Vec, n)
+	for i := range pts {
+		pts[i] = vec.New(float64(i))
+	}
+	objs := lineage.Certain(pts)
+	ext := External{
+		Objects: objs, Space: event.NewSpace(),
+		Matrix: m,
+		Params: []int{2, 2}, // r, iter
+	}
+	var syms []string
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			syms = append(syms, fmt.Sprintf("M[%d][%d]", i, j))
+		}
+	}
+	diffProgram(t, lang.MCLSource, ext, nil, syms)
+}
+
+// TestTranslateDeclarationsAreImmutable ensures every emitted label is
+// unique (the event-program immutability requirement of §3.4 — DeclareBool
+// panics on duplicates, so reaching the end is the assertion).
+func TestTranslateUniqueLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	objs, space := uncertainObjects(t, rng, 4, lineage.Positive)
+	ext := External{Objects: objs, Space: space, Params: []int{2, 3}, InitIndices: []int{0, 1}}
+	res, err := Translate(lang.MustParse(lang.KMedoidsSource), ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := res.Program.Names()
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate label %q", n)
+		}
+		seen[n] = true
+	}
+	if len(names) < 50 {
+		t.Fatalf("suspiciously few declarations: %d", len(names))
+	}
+}
