@@ -1,0 +1,33 @@
+GO ?= go
+FUZZTIME ?= 30s
+
+.PHONY: build test test-short test-race vet fuzz-smoke fuzz ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fuzz-smoke replays the committed corpora (runs as ordinary tests) and then
+# fuzzes each target briefly; quick enough for CI.
+fuzz-smoke:
+	$(GO) test ./internal/lang ./internal/difftest -run '^Fuzz'
+	$(GO) test ./internal/lang -run '^$$' -fuzz '^FuzzLexer$$' -fuzztime 10s
+	$(GO) test ./internal/lang -run '^$$' -fuzz '^FuzzParser$$' -fuzztime 10s
+	$(GO) test ./internal/difftest -run '^$$' -fuzz '^FuzzPipeline$$' -fuzztime 10s
+
+# fuzz runs the differential pipeline fuzzer for FUZZTIME (default 30s).
+fuzz:
+	$(GO) test ./internal/difftest -run '^$$' -fuzz '^FuzzPipeline$$' -fuzztime $(FUZZTIME)
+
+ci: vet build test test-race

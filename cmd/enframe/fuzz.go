@@ -1,0 +1,62 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"enframe/internal/difftest"
+)
+
+// runFuzz is the `enframe fuzz` subcommand: run the differential
+// verification harness over a contiguous seed range and report every
+// disagreement with its reproducing seed.
+func runFuzz(args []string) error {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "first generator seed")
+	count := fs.Int("n", 100, "number of consecutive seeds to check")
+	full := fs.Bool("full", false, "cross all approximation and distribution settings per seed")
+	noShrink := fs.Bool("noshrink", false, "report failing programs without shrinking")
+	quiet := fs.Bool("q", false, "suppress the per-seed progress dots")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: enframe fuzz [-seed N] [-n COUNT] [-full] [-noshrink] [-q]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("fuzz: unexpected argument %q", fs.Arg(0))
+	}
+	if *count < 1 {
+		return fmt.Errorf("fuzz: -n must be positive")
+	}
+
+	opt := difftest.Quick()
+	if *full {
+		opt = difftest.Full()
+	}
+	opt.NoShrink = *noShrink
+
+	start := time.Now()
+	failures := 0
+	for i := 0; i < *count; i++ {
+		s := *seed + int64(i)
+		if err := difftest.Check(s, opt); err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "\n%v\n", err)
+		} else if !*quiet && *count > 1 {
+			fmt.Print(".")
+		}
+	}
+	if !*quiet && *count > 1 {
+		fmt.Println()
+	}
+	fmt.Printf("fuzz: %d seeds starting at %d, %d failure(s), %v\n",
+		*count, *seed, failures, time.Since(start).Round(time.Millisecond))
+	if failures > 0 {
+		return fmt.Errorf("%d differential failure(s)", failures)
+	}
+	return nil
+}

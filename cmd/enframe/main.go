@@ -11,6 +11,17 @@
 // energy-network sensor feed (internal/data) with the selected correlation
 // scheme attached; -dump-events prints the translated event program instead
 // of compiling it.
+//
+// The fuzz subcommand replays the differential verification harness on a
+// seed range:
+//
+//	enframe fuzz -seed 1 -n 500
+//
+// Each seed deterministically generates a random program and input data
+// (internal/gen) and cross-checks the per-world oracle, the exact pipeline,
+// the reference evaluator, the approximation strategies, and the
+// distributed runner (internal/difftest). A failure prints the seed that
+// reproduces it with `enframe fuzz -seed N -n 1`.
 package main
 
 import (
@@ -53,6 +64,16 @@ var (
 )
 
 func main() {
+	// Subcommands dispatch before the global flags are parsed: `fuzz` has
+	// its own flag set (-seed there is the first generator seed, not the
+	// data seed).
+	if len(os.Args) > 1 && os.Args[1] == "fuzz" {
+		if err := runFuzz(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "enframe:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	flag.Parse()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "enframe:", err)

@@ -1,0 +1,397 @@
+// Package difftest is the end-to-end differential verification harness. For
+// one generated program (internal/gen) it computes every checked symbol
+// through three independent paths and asserts they agree:
+//
+//  1. the naïve per-world oracle — enumerate all possible worlds
+//     (internal/worlds) and run the interpreter (internal/interp) in each;
+//  2. the full pipeline — translate to an event program
+//     (internal/translate), ground it into an event network
+//     (internal/network), and compile marginal probabilities exactly
+//     (internal/prob);
+//  3. the reference recompute evaluator (prob.CompileRef).
+//
+// On top of the exact agreement it checks the ε-approximation contract of
+// the eager, lazy, and hybrid strategies (truth within bounds, gap ≤ 2ε,
+// estimate within ε) and that the distributed runner returns bounds equal
+// to the sequential compiler for every Workers × JobDepth combination.
+//
+// A failing program is shrunk by dropping blocks while the differential
+// failure persists; the reported error carries the one seed that
+// reproduces it via `enframe fuzz -seed N -n 1`.
+package difftest
+
+import (
+	"fmt"
+	"math"
+	"runtime/debug"
+	"strconv"
+	"strings"
+
+	"enframe/internal/event"
+	"enframe/internal/gen"
+	"enframe/internal/interp"
+	"enframe/internal/lang"
+	"enframe/internal/lineage"
+	"enframe/internal/network"
+	"enframe/internal/prob"
+	"enframe/internal/translate"
+	"enframe/internal/worlds"
+)
+
+// tol is the agreement tolerance for paths that are exact by construction.
+const tol = 1e-9
+
+// Options selects which configurations Check exercises beyond the always-on
+// exact/reference/oracle comparison.
+type Options struct {
+	// Epsilons are the error budgets for the eager/lazy/hybrid runs.
+	Epsilons []float64
+	// Workers and JobDepths are crossed to exercise the distributed runner.
+	Workers   []int
+	JobDepths []int
+	// NoShrink reports the original failing program without shrinking.
+	NoShrink bool
+}
+
+// Quick is the per-seed configuration used for bulk runs and fuzzing.
+func Quick() Options {
+	return Options{Epsilons: []float64{0.05}, Workers: []int{2}, JobDepths: []int{3}}
+}
+
+// Full crosses more approximation and distribution settings per seed.
+func Full() Options {
+	return Options{
+		Epsilons:  []float64{0.01, 0.1},
+		Workers:   []int{1, 2, 4},
+		JobDepths: []int{1, 3},
+	}
+}
+
+// Failure describes one differential disagreement.
+type Failure struct {
+	Seed   int64
+	Stage  string // which path or configuration disagreed
+	Detail string
+	Source string // (possibly shrunk) program text
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("difftest: seed %d: %s: %s\nreproduce: enframe fuzz -seed %d -n 1\nprogram:\n%s",
+		f.Seed, f.Stage, f.Detail, f.Seed, f.Source)
+}
+
+// setupStages are failure stages that do not indicate a differential bug in
+// a shrink candidate (dropping a block can orphan a reference, which is the
+// candidate's fault, not the pipeline's).
+var setupStages = map[string]bool{"parse": true, "translate": true, "setup": true}
+
+// Check generates the program of the given seed, runs the full differential
+// matrix, and returns a *Failure (shrunk unless opt.NoShrink) or nil.
+func Check(seed int64, opt Options) error {
+	p := gen.New(seed)
+	f := checkProgram(p, opt)
+	if f == nil {
+		return nil
+	}
+	if !opt.NoShrink {
+		p, f = shrink(p, f, opt)
+	}
+	f.Seed = seed
+	f.Source = p.Source()
+	return f
+}
+
+// shrink repeatedly drops whole blocks while some differential stage still
+// fails. Candidates that fail during setup are rejected: those failures are
+// artifacts of the removal, not of the pipeline.
+func shrink(p *gen.Program, f *Failure, opt Options) (*gen.Program, *Failure) {
+	for improved := true; improved; {
+		improved = false
+		for i := len(p.Blocks) - 1; i >= 0; i-- {
+			if len(p.Blocks) <= 1 {
+				break
+			}
+			cand := p.WithoutBlock(i)
+			cf := checkProgram(cand, opt)
+			if cf != nil && !setupStages[cf.Stage] {
+				p, f = cand, cf
+				improved = true
+				break
+			}
+		}
+	}
+	return p, f
+}
+
+// checkProgram runs the differential matrix over one program. Any panic in
+// any path is converted into a Failure rather than crashing the harness.
+func checkProgram(p *gen.Program, opt Options) (f *Failure) {
+	defer func() {
+		if r := recover(); r != nil {
+			f = &Failure{Stage: "panic", Detail: fmt.Sprintf("%v\n%s", r, debug.Stack())}
+		}
+	}()
+
+	prog, err := lang.Parse(p.Source())
+	if err != nil {
+		return &Failure{Stage: "parse", Detail: err.Error()}
+	}
+	if err := lang.Validate(prog); err != nil {
+		return &Failure{Stage: "parse", Detail: "validate: " + err.Error()}
+	}
+	in := p.Input
+	res, err := translate.Translate(prog, translate.External{
+		Objects:     in.Objects,
+		Space:       in.Space,
+		Params:      in.Params,
+		InitIndices: in.InitIndices,
+	})
+	if err != nil {
+		return &Failure{Stage: "translate", Detail: err.Error()}
+	}
+	syms := p.Syms()
+
+	// Path 1: the per-world oracle. Every world's interpreter run must
+	// match the translated events, and the Boolean marginals accumulated
+	// here are the ground truth for the network paths below.
+	truth := map[string]float64{}
+	mass := 0.0
+	evs := lineage.Events(in.Objects)
+	worlds.Enumerate(in.Space, func(nu event.SliceValuation, pw float64) bool {
+		mass += pw
+		present := worlds.Presence(evs, nu)
+		w, err := interp.Run(prog, interp.External{
+			Objects:     in.Objects,
+			Present:     present,
+			Params:      in.Params,
+			InitIndices: in.InitIndices,
+			Metric:      in.Metric,
+		})
+		if err != nil {
+			f = &Failure{Stage: "interp", Detail: fmt.Sprintf("world %v: %v", nu, err)}
+			return false
+		}
+		ev := event.NewEvaluator(nu, in.Metric)
+		for _, s := range syms {
+			want, err := worldValue(w, s.Name)
+			if err != nil {
+				f = &Failure{Stage: "oracle", Detail: fmt.Sprintf("world %v: %v", nu, err)}
+				return false
+			}
+			var got event.Value
+			if b, ok := res.BoolEvent(s.Name); ok && s.IsBool {
+				got = event.Bool(ev.EvalExpr(b))
+			} else if n, ok := res.NumEvent(s.Name); ok {
+				got = ev.EvalNum(n)
+			} else {
+				f = &Failure{Stage: "oracle", Detail: fmt.Sprintf("no translated binding for %s", s.Name)}
+				return false
+			}
+			if !got.Equal(want) && !got.AlmostEqual(want, tol) {
+				f = &Failure{
+					Stage:  "oracle",
+					Detail: fmt.Sprintf("world %v: %s: translated %v vs interpreted %v", nu, s.Name, got, want),
+				}
+				return false
+			}
+			if s.IsBool && want.B {
+				truth[s.Name] += pw
+			}
+		}
+		return true
+	})
+	if f != nil {
+		return f
+	}
+	if math.Abs(mass-1) > tol {
+		return &Failure{Stage: "oracle", Detail: fmt.Sprintf("world probabilities sum to %g", mass)}
+	}
+
+	// Paths 2 and 3: ground the event program into a network and compile
+	// the Boolean symbols' marginals.
+	var targets []string
+	labelToSym := map[string]string{}
+	for _, s := range syms {
+		if !s.IsBool {
+			continue
+		}
+		label, ok := res.Label(s.Name)
+		if !ok {
+			return &Failure{Stage: "setup", Detail: fmt.Sprintf("no declaration label for %s", s.Name)}
+		}
+		targets = append(targets, label)
+		labelToSym[label] = s.Name
+	}
+	if len(targets) == 0 {
+		return &Failure{Stage: "setup", Detail: "no Boolean targets"}
+	}
+	net, err := network.FromProgram(res.Program, in.Metric, targets)
+	if err != nil {
+		return &Failure{Stage: "network", Detail: err.Error()}
+	}
+
+	exact, err := prob.Compile(net, prob.Options{Strategy: prob.Exact})
+	if err != nil {
+		return &Failure{Stage: "exact", Detail: err.Error()}
+	}
+	if f := checkExact(exact, "exact", truth, labelToSym); f != nil {
+		return f
+	}
+	ref, err := prob.CompileRef(net, prob.Options{Strategy: prob.Exact})
+	if err != nil {
+		return &Failure{Stage: "reference", Detail: err.Error()}
+	}
+	if f := checkExact(ref, "reference", truth, labelToSym); f != nil {
+		return f
+	}
+	order, err := prob.Compile(net, prob.Options{Strategy: prob.Exact, Heuristic: prob.InputOrder})
+	if err != nil {
+		return &Failure{Stage: "order", Detail: err.Error()}
+	}
+	if f := checkExact(order, "order", truth, labelToSym); f != nil {
+		return f
+	}
+
+	// Approximation contract: truth within bounds, gap ≤ 2ε, estimate
+	// within ε — for every strategy × ε.
+	for _, eps := range opt.Epsilons {
+		for _, strat := range []prob.Strategy{prob.Eager, prob.Lazy, prob.Hybrid} {
+			r, err := prob.Compile(net, prob.Options{Strategy: strat, Epsilon: eps})
+			stage := fmt.Sprintf("%v ε=%g", strat, eps)
+			if err != nil {
+				return &Failure{Stage: stage, Detail: err.Error()}
+			}
+			if f := checkApprox(r, stage, eps, truth, labelToSym); f != nil {
+				return f
+			}
+		}
+	}
+
+	// Distributed runner: bounds must equal the sequential exact compile
+	// for every Workers × JobDepth combination, and the hybrid strategy
+	// must keep its ε contract when distributed.
+	for _, w := range opt.Workers {
+		for _, d := range opt.JobDepths {
+			r, err := prob.Compile(net, prob.Options{Strategy: prob.Exact, Workers: w, JobDepth: d})
+			stage := fmt.Sprintf("distributed W=%d depth=%d", w, d)
+			if err != nil {
+				return &Failure{Stage: stage, Detail: err.Error()}
+			}
+			if f := checkSame(r, exact, stage); f != nil {
+				return f
+			}
+		}
+	}
+	if len(opt.Epsilons) > 0 && len(opt.Workers) > 0 {
+		eps, w := opt.Epsilons[0], opt.Workers[len(opt.Workers)-1]
+		r, err := prob.Compile(net, prob.Options{Strategy: prob.Hybrid, Epsilon: eps, Workers: w})
+		stage := fmt.Sprintf("distributed-hybrid W=%d ε=%g", w, eps)
+		if err != nil {
+			return &Failure{Stage: stage, Detail: err.Error()}
+		}
+		if f := checkApprox(r, stage, eps, truth, labelToSym); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// checkExact asserts an exact-mode result: every target pinned to the
+// oracle marginal with a vanishing gap.
+func checkExact(r *prob.Result, stage string, truth map[string]float64, labelToSym map[string]string) *Failure {
+	for _, tb := range r.Targets {
+		sym, ok := labelToSym[tb.Name]
+		if !ok {
+			return &Failure{Stage: stage, Detail: fmt.Sprintf("unexpected target %q", tb.Name)}
+		}
+		want := truth[sym]
+		if tb.Gap() > tol {
+			return &Failure{Stage: stage, Detail: fmt.Sprintf("%s: gap %g not exact", sym, tb.Gap())}
+		}
+		if math.Abs(tb.Lower-want) > tol && math.Abs(tb.Upper-want) > tol {
+			return &Failure{Stage: stage,
+				Detail: fmt.Sprintf("%s: got [%.12g, %.12g], oracle %.12g", sym, tb.Lower, tb.Upper, want)}
+		}
+	}
+	return nil
+}
+
+// checkApprox asserts the ε contract of an approximate result.
+func checkApprox(r *prob.Result, stage string, eps float64, truth map[string]float64, labelToSym map[string]string) *Failure {
+	for _, tb := range r.Targets {
+		sym, ok := labelToSym[tb.Name]
+		if !ok {
+			return &Failure{Stage: stage, Detail: fmt.Sprintf("unexpected target %q", tb.Name)}
+		}
+		want := truth[sym]
+		if want < tb.Lower-tol || want > tb.Upper+tol {
+			return &Failure{Stage: stage,
+				Detail: fmt.Sprintf("%s: oracle %.12g outside [%.12g, %.12g]", sym, want, tb.Lower, tb.Upper)}
+		}
+		if tb.Gap() > 2*eps+tol {
+			return &Failure{Stage: stage, Detail: fmt.Sprintf("%s: gap %g exceeds 2ε", sym, tb.Gap())}
+		}
+		if e := tb.Estimate(); math.Abs(e-want) > eps+tol {
+			return &Failure{Stage: stage,
+				Detail: fmt.Sprintf("%s: estimate %.12g off oracle %.12g by more than ε", sym, e, want)}
+		}
+	}
+	return nil
+}
+
+// checkSame asserts two results carry identical bounds target by target.
+func checkSame(got, want *prob.Result, stage string) *Failure {
+	if len(got.Targets) != len(want.Targets) {
+		return &Failure{Stage: stage,
+			Detail: fmt.Sprintf("%d targets, sequential has %d", len(got.Targets), len(want.Targets))}
+	}
+	for _, wt := range want.Targets {
+		gt, ok := got.Target(wt.Name)
+		if !ok {
+			return &Failure{Stage: stage, Detail: fmt.Sprintf("missing target %q", wt.Name)}
+		}
+		if math.Abs(gt.Lower-wt.Lower) > tol || math.Abs(gt.Upper-wt.Upper) > tol {
+			return &Failure{Stage: stage,
+				Detail: fmt.Sprintf("%s: got [%.12g, %.12g], sequential [%.12g, %.12g]",
+					wt.Name, gt.Lower, gt.Upper, wt.Lower, wt.Upper)}
+		}
+	}
+	return nil
+}
+
+// worldValue resolves a flattened symbol like "C0[1][2]" in the
+// interpreter's final environment.
+func worldValue(w *interp.World, sym string) (event.Value, error) {
+	name := sym
+	var idx []int
+	if i := strings.IndexByte(sym, '['); i >= 0 {
+		name = sym[:i]
+		rest := sym[i:]
+		for len(rest) > 0 {
+			j := strings.IndexByte(rest, ']')
+			if j < 0 {
+				return event.Value{}, fmt.Errorf("malformed symbol %q", sym)
+			}
+			n, err := strconv.Atoi(rest[1:j])
+			if err != nil {
+				return event.Value{}, fmt.Errorf("malformed symbol %q: %v", sym, err)
+			}
+			idx = append(idx, n)
+			rest = rest[j+1:]
+		}
+	}
+	v, ok := w.Var(name)
+	if !ok {
+		return event.Value{}, fmt.Errorf("no interpreter variable %q", name)
+	}
+	for _, ix := range idx {
+		if !v.IsArr() || ix >= len(v.Arr) {
+			return event.Value{}, fmt.Errorf("bad index path %s", sym)
+		}
+		v = v.Arr[ix]
+	}
+	if v.None {
+		return event.Value{}, fmt.Errorf("%s is uninitialised", sym)
+	}
+	return v.V, nil
+}

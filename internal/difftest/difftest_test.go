@@ -1,0 +1,57 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+)
+
+// scaled shrinks a bulk seed count under -short or -race so the suite stays
+// inside CI time budgets; the full matrix runs in the default configuration.
+func scaled(n int, t *testing.T) int {
+	if testing.Short() {
+		n /= 10
+	}
+	if raceEnabled {
+		n /= 6
+	}
+	if n < 5 {
+		n = 5
+	}
+	return n
+}
+
+// TestGeneratedProgramsAgree is the main differential sweep: several
+// hundred generated programs, each checked through the per-world oracle,
+// the exact pipeline, the reference evaluator, one approximation setting,
+// and one distributed setting.
+func TestGeneratedProgramsAgree(t *testing.T) {
+	n := scaled(2000, t)
+	for seed := int64(1); seed <= int64(n); seed++ {
+		if err := Check(seed, Quick()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGeneratedProgramsFullMatrix crosses more ε values and every
+// Workers × JobDepth combination on a smaller seed set.
+func TestGeneratedProgramsFullMatrix(t *testing.T) {
+	n := scaled(200, t)
+	for i := int64(0); i < int64(n); i++ {
+		if err := Check(10000+i, Full()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFailureMessageCarriesSeed pins the reproduction contract: a Failure
+// must print its seed and the fuzz command that replays it.
+func TestFailureMessageCarriesSeed(t *testing.T) {
+	f := &Failure{Seed: 42, Stage: "exact", Detail: "boom", Source: "M = init()\n"}
+	msg := f.Error()
+	for _, want := range []string{"seed 42", "enframe fuzz -seed 42", "exact", "boom"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("failure message missing %q:\n%s", want, msg)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package difftest
+
+import "testing"
+
+// FuzzPipeline feeds arbitrary seeds to the full differential harness: the
+// generator must be total over int64, and every generated program must agree
+// across the per-world oracle, the exact pipeline, the reference evaluator,
+// the approximation strategies, and the distributed runner.
+func FuzzPipeline(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-1))
+	f.Add(int64(1 << 40))
+	f.Add(int64(-9007199254740993))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := Check(seed, Quick()); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

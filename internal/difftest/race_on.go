@@ -1,0 +1,8 @@
+//go:build race
+
+package difftest
+
+// raceEnabled scales down bulk seed counts: the race detector slows world
+// enumeration by roughly an order of magnitude, and the concurrency
+// coverage does not improve with more seeds.
+const raceEnabled = true

@@ -1,0 +1,91 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"enframe/internal/lang"
+)
+
+// TestDeterministic: the same seed must yield the identical program and
+// input, or printed seeds would not reproduce failures.
+func TestDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a, b := New(seed), New(seed)
+		if a.Source() != b.Source() {
+			t.Fatalf("seed %d: sources differ:\n%s\n----\n%s", seed, a.Source(), b.Source())
+		}
+		if len(a.Input.Objects) != len(b.Input.Objects) || a.Input.Space.Len() != b.Input.Space.Len() {
+			t.Fatalf("seed %d: inputs differ", seed)
+		}
+	}
+}
+
+// TestGeneratedProgramsAreValid: every generated program must parse and
+// pass static validation; generation is total over seeds.
+func TestGeneratedProgramsAreValid(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		p := New(seed)
+		prog, err := lang.Parse(p.Source())
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, p.Source())
+		}
+		if err := lang.Validate(prog); err != nil {
+			t.Fatalf("seed %d: validate: %v\n%s", seed, err, p.Source())
+		}
+		if len(p.Syms()) == 0 {
+			t.Fatalf("seed %d: no checked symbols", seed)
+		}
+		if p.Input.Space.Len() > 9 {
+			t.Fatalf("seed %d: %d variables exceeds enumeration budget", seed, p.Input.Space.Len())
+		}
+		hasBool := false
+		for _, s := range p.Syms() {
+			if s.IsBool {
+				hasBool = true
+			}
+		}
+		if !hasBool {
+			t.Fatalf("seed %d: anchor block produced no Boolean symbol\n%s", seed, p.Source())
+		}
+	}
+}
+
+// TestGrammarCoverage: across a modest seed range the generator must
+// exercise the interesting constructs at least once each.
+func TestGrammarCoverage(t *testing.T) {
+	features := map[string]int{
+		"reduce_sum": 0, "reduce_count": 0, "reduce_mult": 0,
+		"reduce_and": 0, "reduce_or": 0,
+		"breakTies(": 0, "breakTies1(": 0, "breakTies2(": 0,
+		"dist(": 0, "pow(": 0, "scalar_mult(": 0,
+		" if ": 0, "range(0, 0)": 0,
+	}
+	for seed := int64(0); seed < 400; seed++ {
+		src := New(seed).Source()
+		for f := range features {
+			features[f] += strings.Count(src, f)
+		}
+	}
+	for f, n := range features {
+		if n == 0 {
+			t.Errorf("feature %q never generated in 400 seeds", f)
+		}
+	}
+}
+
+// TestWithoutBlock: shrinking drops exactly one block and keeps the rest
+// byte-identical.
+func TestWithoutBlock(t *testing.T) {
+	p := New(7)
+	if len(p.Blocks) < 2 {
+		t.Skip("seed 7 has a single block")
+	}
+	q := p.WithoutBlock(0)
+	if len(q.Blocks) != len(p.Blocks)-1 {
+		t.Fatalf("got %d blocks, want %d", len(q.Blocks), len(p.Blocks)-1)
+	}
+	if !strings.Contains(p.Source(), q.Blocks[0].Lines[0]) {
+		t.Fatal("remaining block not from original program")
+	}
+}

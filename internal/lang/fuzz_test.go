@@ -1,0 +1,67 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLexer: Lex must never panic; on success every token needs a sane
+// position and the stream must end with EOF after balanced indentation.
+func FuzzLexer(f *testing.F) {
+	f.Add("x = 1\n")
+	f.Add("for i in range(0, n):\n    x = i\n")
+	f.Add("x = [None] * 3\n\tbad indent")
+	f.Add("s = reduce_sum([a[i] for i in range(0, 3) if (a[i] <= 2)])")
+	f.Add("(O, n) = loadData()\r\n# comment\nM = init()")
+	f.Add(KMedoidsSource)
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		depth := 0
+		for _, tok := range toks {
+			if tok.Pos.Line < 0 || tok.Pos.Col < 0 {
+				t.Fatalf("token %v has negative position %v", tok.Kind, tok.Pos)
+			}
+			switch tok.Kind {
+			case TokIndent:
+				depth++
+			case TokDedent:
+				depth--
+				if depth < 0 {
+					t.Fatal("DEDENT below depth 0")
+				}
+			}
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatal("token stream does not end with EOF")
+		}
+		if depth != 0 {
+			t.Fatalf("unbalanced indentation: depth %d at EOF", depth)
+		}
+	})
+}
+
+// FuzzParser: Parse must never panic, and a program that parses must also
+// survive static validation without panicking.
+func FuzzParser(f *testing.F) {
+	f.Add("x = 1\n")
+	f.Add("for i in range(0, 3):\n    x = (x + i)\n")
+	f.Add("x = ((((1))))\n")
+	f.Add("A = [None] * k\nA[0] = [None] * n\n")
+	f.Add("b = reduce_and([True for i in range(0, 0)])\n")
+	f.Add("x = [None] * [None] * [None] * 2\n")
+	f.Add(strings.Repeat("(", 64) + "1" + strings.Repeat(")", 64))
+	f.Add(KMeansSource)
+	f.Add(MCLSource)
+	f.Add(Example3Source)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Validation must be total on anything the parser accepts.
+		_ = Validate(prog)
+	})
+}

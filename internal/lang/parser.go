@@ -55,7 +55,27 @@ func MustParse(src string) *Program {
 type parser struct {
 	toks []Token
 	i    int
+	// depth counts active stmt/factor recursion frames. Every recursion
+	// cycle in the grammar passes through one of the two, so bounding them
+	// bounds the whole parse and turns pathologically nested input into a
+	// positioned error instead of a stack overflow.
+	depth int
 }
+
+// maxDepth is far beyond any real program (the canonical clustering
+// programs nest < 10 deep) but small enough that the recursion never
+// threatens the goroutine stack.
+const maxDepth = 200
+
+func (p *parser) push(pos Pos) error {
+	p.depth++
+	if p.depth > maxDepth {
+		return errf(pos, "nesting deeper than %d levels", maxDepth)
+	}
+	return nil
+}
+
+func (p *parser) pop() { p.depth-- }
 
 func (p *parser) cur() Token        { return p.toks[p.i] }
 func (p *parser) at(k TokKind) bool { return p.toks[p.i].Kind == k }
@@ -76,6 +96,10 @@ func (p *parser) expect(k TokKind) (Token, error) {
 }
 
 func (p *parser) stmt() (Stmt, error) {
+	if err := p.push(p.cur().Pos); err != nil {
+		return nil, err
+	}
+	defer p.pop()
 	switch p.cur().Kind {
 	case TokFor:
 		return p.forStmt()
@@ -280,6 +304,10 @@ func (p *parser) term() (Expr, error) {
 }
 
 func (p *parser) factor() (Expr, error) {
+	if err := p.push(p.cur().Pos); err != nil {
+		return nil, err
+	}
+	defer p.pop()
 	t := p.cur()
 	switch t.Kind {
 	case TokInt:

@@ -1,0 +1,110 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// The parser recurses on nested syntax; without a depth limit, adversarial
+// input is an unrecoverable `fatal error: stack overflow` (observed at
+// ~5M nested parens before the guard existed). These tests pin the guard:
+// pathological nesting returns a positioned error, realistic nesting parses.
+
+func TestDeepParenNesting(t *testing.T) {
+	src := "x = " + strings.Repeat("(", 100000) + "1" + strings.Repeat(")", 100000) + "\n"
+	if _, err := Parse(src); err == nil {
+		t.Fatal("want depth error, got success")
+	}
+}
+
+func TestDeepIndexNesting(t *testing.T) {
+	src := "y = x" + strings.Repeat("[x", 100000) + strings.Repeat("]", 100000) + "\n"
+	if _, err := Parse(src); err == nil {
+		t.Fatal("want depth error, got success")
+	}
+}
+
+func TestDeepArrayLitNesting(t *testing.T) {
+	src := "x = " + strings.Repeat("[None] * ", 100000) + "2\n"
+	if _, err := Parse(src); err == nil {
+		t.Fatal("want depth error, got success")
+	}
+}
+
+func TestDeepForNesting(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 5000; i++ {
+		b.WriteString(strings.Repeat("    ", i))
+		b.WriteString("for i in range(0, 2):\n")
+	}
+	b.WriteString(strings.Repeat("    ", 5000))
+	b.WriteString("x = 1\n")
+	if _, err := Parse(b.String()); err == nil {
+		t.Fatal("want depth error, got success")
+	}
+}
+
+func TestDepthErrorIsPositioned(t *testing.T) {
+	src := "x = " + strings.Repeat("(", 100000) + "1" + strings.Repeat(")", 100000) + "\n"
+	_, err := Parse(src)
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("want *lang.Error, got %T: %v", err, err)
+	}
+	if perr.Pos.Line <= 0 {
+		t.Fatalf("depth error carries no position: %+v", perr)
+	}
+	if !strings.Contains(perr.Error(), "nesting") {
+		t.Fatalf("unexpected message: %v", perr)
+	}
+}
+
+// TestModerateNestingStillParses guards against an over-eager limit: depth
+// well beyond any canonical program must keep working.
+func TestModerateNestingStillParses(t *testing.T) {
+	src := "x = " + strings.Repeat("(", 50) + "1" + strings.Repeat(")", 50) + "\n"
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("50 nested parens should parse: %v", err)
+	}
+	var b strings.Builder
+	for i := 0; i < 20; i++ {
+		b.WriteString(strings.Repeat("    ", i))
+		b.WriteString("for i in range(0, 2):\n")
+	}
+	b.WriteString(strings.Repeat("    ", 20))
+	b.WriteString("x = 1\n")
+	if _, err := Parse(b.String()); err != nil {
+		t.Fatalf("20 nested loops should parse: %v", err)
+	}
+}
+
+// Malformed-input regressions: each must produce a positioned error, never
+// a panic or a silent success.
+func TestMalformedInputErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"bad dedent level", "for i in range(0, 2):\n    x = 1\n  y = 2\n"},
+		{"unterminated paren", "x = (1 + \n"},
+		{"unterminated bracket", "x = a[1\n"},
+		{"missing colon", "for i in range(0, 2)\n    x = 1\n"},
+		{"missing body", "for i in range(0, 2):\n"},
+		{"overflow int literal", "x = 99999999999999999999999999\n"},
+		{"comparison chain", "x = 1 < 2 < 3\n"},
+		{"empty parens", "x = ()\n"},
+		{"lone operator", "x = *\n"},
+		{"keyword as name", "for for in range(0, 1):\n    x = 1\n"},
+		{"assign to literal", "1 = 2\n"},
+		{"unterminated call", "x = dist(a, \n"},
+		{"bad tuple", "(a, ) = loadData()\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("no error for %q", c.src)
+			}
+			if perr, ok := err.(*Error); ok && perr.Pos.Line <= 0 {
+				t.Fatalf("error without position for %q: %v", c.src, err)
+			}
+		})
+	}
+}
