@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test test-short test-race vet fuzz-smoke fuzz ci
+.PHONY: build test test-short test-race vet fuzz-smoke fuzz bench obs-race smoke ci
 
 build:
 	$(GO) build ./...
@@ -30,4 +30,24 @@ fuzz-smoke:
 fuzz:
 	$(GO) test ./internal/difftest -run '^$$' -fuzz '^FuzzPipeline$$' -fuzztime $(FUZZTIME)
 
-ci: vet build test test-race
+# bench snapshots the pipeline's stage-by-stage cost plus the key
+# observability counters (hash-cons hit rate, tree branches/depth) into
+# BENCH_pipeline.json, the perf trajectory later PRs report against.
+bench:
+	$(GO) run ./cmd/bench -out BENCH_pipeline.json
+
+# obs-race runs the metrics-registry and tracer tests under the race
+# detector with concurrent workers hammering shared counters and spans.
+obs-race:
+	$(GO) test -race ./internal/obs/...
+
+# smoke exercises the observability CLI surface on a quickstart-sized run:
+# -trace must print a span tree, -json must emit valid JSON on stdout, and
+# -trace-out must produce a loadable Chrome trace.
+smoke: build
+	$(GO) run ./cmd/enframe -program kmedoids -n 8 -vars 6 -iter 2 \
+		-trace -json -trace-out /tmp/enframe-smoke-trace.json > /tmp/enframe-smoke.json
+	$(GO) run ./cmd/enframe -program kmedoids -n 8 -vars 6 -iter 2 \
+		-strategy hybrid -eps 0.1 -workers 4 -metrics > /dev/null
+
+ci: vet build test test-race obs-race smoke

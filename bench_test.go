@@ -11,11 +11,13 @@ import (
 	"testing"
 
 	"enframe/internal/cluster"
+	"enframe/internal/core"
 	"enframe/internal/data"
 	"enframe/internal/encode"
 	"enframe/internal/lang"
 	"enframe/internal/lineage"
 	"enframe/internal/network"
+	"enframe/internal/obs"
 	"enframe/internal/prob"
 	"enframe/internal/translate"
 	"enframe/internal/vec"
@@ -293,5 +295,56 @@ func BenchmarkDeterministicKMedoids(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cluster.KMedoids(pts, nil, 2, 3, []int{0, 1}, vec.Euclidean)
+	}
+}
+
+// --- Observability overhead ------------------------------------------------
+
+// coreSpec builds the full-pipeline benchmark spec (source → probabilities).
+func coreSpec(b *testing.B, withObs bool) core.Spec {
+	b.Helper()
+	objs, space, err := lineage.Attach(data.Points(24, 1), positiveCfg(10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := core.Spec{
+		Source:      lang.KMedoidsSource,
+		Objects:     objs,
+		Space:       space,
+		Params:      []int{2, 3},
+		InitIndices: []int{0, 1},
+		Targets:     []string{"Centre["},
+		Compile:     prob.Options{Strategy: prob.Exact},
+	}
+	if withObs {
+		spec.Compile.Obs = obs.New("bench")
+	}
+	return spec
+}
+
+// BenchmarkPipelineEndToEnd runs the whole pipeline with observability
+// disabled (nil trace — the no-op path).
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	spec := coreSpec(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineEndToEndTraced runs the same pipeline with spans and
+// metrics enabled; the delta against BenchmarkPipelineEndToEnd is the full
+// observability cost.
+func BenchmarkPipelineEndToEndTraced(b *testing.B) {
+	spec := coreSpec(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(spec); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,185 @@
+// Command bench measures the compile pipeline stage by stage and writes a
+// BENCH_pipeline.json snapshot (ns/op, B/op, allocs/op per stage, plus the
+// key observability counters: hash-cons hit rate, decision-tree branches,
+// max depth, mask updates). Run it via `make bench`; successive snapshots
+// committed over time give the perf trajectory every later optimisation PR
+// reports against.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"enframe/internal/core"
+	"enframe/internal/data"
+	"enframe/internal/lang"
+	"enframe/internal/lineage"
+	"enframe/internal/network"
+	"enframe/internal/obs"
+	"enframe/internal/prob"
+	"enframe/internal/translate"
+)
+
+var (
+	outFlag  = flag.String("out", "BENCH_pipeline.json", "output file")
+	nFlag    = flag.Int("n", 24, "data points of the benchmark task")
+	varsFlag = flag.Int("vars", 10, "variable pool of the positive scheme")
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type snapshot struct {
+	Config     map[string]any     `json:"config"`
+	Benchmarks []benchResult      `json:"benchmarks"`
+	Counters   map[string]float64 `json:"counters"`
+}
+
+func run(name string, f func(b *testing.B)) benchResult {
+	r := testing.Benchmark(f)
+	fmt.Printf("%-28s %12d ns/op %8d B/op %6d allocs/op\n",
+		name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	return benchResult{
+		Name:        name,
+		N:           r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+func main() {
+	flag.Parse()
+
+	cfg := lineage.Config{Scheme: lineage.Positive, NumVars: *varsFlag, L: 8, Seed: 1}
+	objs, space, err := lineage.Attach(data.Points(*nFlag, 1), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	spec := core.Spec{
+		Source:      lang.KMedoidsSource,
+		Objects:     objs,
+		Space:       space,
+		Params:      []int{2, 3},
+		InitIndices: []int{0, 1},
+		Targets:     []string{"Centre["},
+	}
+	ext := translate.External{
+		Objects: objs, Space: space,
+		Params: spec.Params, InitIndices: spec.InitIndices,
+	}
+	prog := lang.MustParse(lang.KMedoidsSource)
+	res, err := translate.Translate(prog, ext)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	targets := res.SymbolsWithPrefix("Centre[")
+	buildNet := func() *network.Net {
+		b := network.NewBuilder(space, nil)
+		for _, sym := range targets {
+			e, _ := res.BoolEvent(sym)
+			b.Target(sym, b.AddExpr(e))
+		}
+		return b.Build()
+	}
+	net := buildNet()
+
+	snap := snapshot{
+		Config: map[string]any{
+			"program": "kmedoids", "n": *nFlag, "vars": *varsFlag,
+			"scheme": "positive", "k": 2, "iter": 3,
+		},
+		Counters: map[string]float64{},
+	}
+
+	snap.Benchmarks = append(snap.Benchmarks,
+		run("pipeline/lex+parse", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lang.Parse(lang.KMedoidsSource); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		run("pipeline/translate", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := translate.Translate(prog, ext); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		run("pipeline/ground", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buildNet()
+			}
+		}),
+		run("pipeline/compile-exact", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := prob.Compile(net, prob.Options{Strategy: prob.Exact}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		run("pipeline/compile-hybrid", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := prob.Compile(net, prob.Options{Strategy: prob.Hybrid, Epsilon: 0.1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		run("pipeline/end-to-end", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	)
+
+	// One traced run harvests the observability counters for the snapshot.
+	tr := obs.New("bench")
+	traced := spec
+	traced.Compile = prob.Options{Strategy: prob.Exact, Obs: tr}
+	rep, err := core.Run(traced)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	tr.Finish()
+	for _, mv := range tr.Metrics().Values() {
+		snap.Counters[mv.Name] = mv.Value
+	}
+	snap.Counters["core.timings.total_ms"] = float64(rep.Timings.Total.Milliseconds())
+
+	f, err := os.Create(*outFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, %d counters)\n", *outFlag, len(snap.Benchmarks), len(snap.Counters))
+}

@@ -12,6 +12,14 @@
 // scheme attached; -dump-events prints the translated event program instead
 // of compiling it.
 //
+// Observability (see OBSERVABILITY.md): -trace prints the pipeline span
+// tree (lex → parse → check → translate → ground → order → compile →
+// distribute) with per-worker utilisation; -trace-out FILE writes Chrome
+// trace_event JSON loadable in about:tracing or ui.perfetto.dev; -metrics
+// dumps the metrics registry (hash-cons hit rate, decision-tree counters);
+// -json emits one machine-readable JSON object on stdout; -pprof ADDR
+// serves net/http/pprof.
+//
 // The fuzz subcommand replays the differential verification harness on a
 // seed range:
 //
@@ -27,6 +35,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 	"strings"
@@ -36,6 +46,7 @@ import (
 	"enframe/internal/data"
 	"enframe/internal/lang"
 	"enframe/internal/lineage"
+	"enframe/internal/obs"
 	"enframe/internal/prob"
 	"enframe/internal/translate"
 )
@@ -61,6 +72,12 @@ var (
 	seedFlag    = flag.Int64("seed", 1, "random seed")
 	dumpFlag    = flag.Bool("dump-events", false, "print the translated event program and exit")
 	topFlag     = flag.Int("top", 20, "print at most this many targets (0 = all)")
+
+	traceFlag    = flag.Bool("trace", false, "print the pipeline span tree after the run")
+	traceOutFlag = flag.String("trace-out", "", "write a Chrome trace_event JSON file (open in about:tracing or ui.perfetto.dev)")
+	metricsFlag  = flag.Bool("metrics", false, "print the metrics registry after the run")
+	jsonFlag     = flag.Bool("json", false, "emit one JSON object on stdout instead of the table")
+	pprofFlag    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 )
 
 func main() {
@@ -81,7 +98,55 @@ func main() {
 	}
 }
 
+// validateFlags rejects nonsensical flag combinations up front, with the
+// offending flag named, instead of letting them misbehave downstream
+// (e.g. -workers 0 silently running sequentially, or -eps 0 with an
+// approximation strategy never converging).
+func validateFlags(strategy prob.Strategy) error {
+	if *workersFlag < 1 {
+		return fmt.Errorf("flag -workers: must be ≥ 1 (got %d)", *workersFlag)
+	}
+	if *jobFlag < 1 {
+		return fmt.Errorf("flag -job: must be ≥ 1 (got %d)", *jobFlag)
+	}
+	if strategy != prob.Exact && *epsFlag <= 0 {
+		return fmt.Errorf("flag -eps: must be > 0 with strategy %q (got %g)", *stratFlag, *epsFlag)
+	}
+	if *topFlag < 0 {
+		return fmt.Errorf("flag -top: must be ≥ 0 (got %d)", *topFlag)
+	}
+	if *nFlag < 1 {
+		return fmt.Errorf("flag -n: must be ≥ 1 (got %d)", *nFlag)
+	}
+	if *kFlag < 1 {
+		return fmt.Errorf("flag -k: must be ≥ 1 (got %d)", *kFlag)
+	}
+	if *iterFlag < 1 {
+		return fmt.Errorf("flag -iter: must be ≥ 1 (got %d)", *iterFlag)
+	}
+	if *timeoutFlag < 0 {
+		return fmt.Errorf("flag -timeout: must be ≥ 0 (got %v)", *timeoutFlag)
+	}
+	return nil
+}
+
 func run() error {
+	strategy, err := parseStrategy(*stratFlag)
+	if err != nil {
+		return err
+	}
+	if err := validateFlags(strategy); err != nil {
+		return err
+	}
+	if *pprofFlag != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofFlag, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "enframe: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "enframe: pprof listening on http://%s/debug/pprof/\n", *pprofFlag)
+	}
+
 	source, isMCL, err := loadProgram(*programFlag)
 	if err != nil {
 		return err
@@ -105,17 +170,23 @@ func run() error {
 		return err
 	}
 
+	var tr *obs.Trace
+	if *traceFlag || *traceOutFlag != "" || *metricsFlag {
+		tr = obs.New("enframe")
+	}
+
 	spec := core.Spec{
 		Source:  source,
 		Objects: objs,
 		Space:   space,
 		Targets: splitTargets(*targetsFlag),
 		Compile: prob.Options{
-			Strategy: parseStrategy(*stratFlag),
+			Strategy: strategy,
 			Epsilon:  *epsFlag,
 			Workers:  *workersFlag,
 			JobDepth: *jobFlag,
 			Timeout:  *timeoutFlag,
+			Obs:      tr,
 		},
 	}
 	if isMCL {
@@ -146,23 +217,59 @@ func run() error {
 		return nil
 	}
 
-	start := time.Now()
 	rep, err := core.Run(spec)
+	tr.Finish()
 	if err != nil {
 		return err
 	}
+
+	targets := append([]prob.TargetBound(nil), rep.Result.Targets...)
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Estimate() > targets[j].Estimate() })
+
+	if *traceOutFlag != "" {
+		f, err := os.Create(*traceOutFlag)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "enframe: wrote Chrome trace to %s (open in about:tracing or ui.perfetto.dev)\n", *traceOutFlag)
+	}
+
+	// With -json, stdout carries exactly one JSON object; the trace tree
+	// and metrics dump move to stderr.
+	aux := os.Stdout
+	if *jsonFlag {
+		aux = os.Stderr
+	}
+	if *traceFlag {
+		fmt.Fprint(aux, tr.Tree())
+		printWorkerTable(aux, rep.Result.Stats)
+		printBudgetTimeline(aux, tr)
+	}
+	if *metricsFlag {
+		fmt.Fprint(aux, tr.Metrics().String())
+	}
+
+	if *jsonFlag {
+		return writeJSON(os.Stdout, rep, targets, tr, *metricsFlag)
+	}
+
 	fmt.Printf("# %d objects, %d variables, %d network nodes, %d targets\n",
 		len(objs), space.Len(), rep.Net.NumNodes(), len(rep.Result.Targets))
 	fmt.Printf("# strategy=%s eps=%g workers=%d: %v (%d branches)",
-		*stratFlag, *epsFlag, *workersFlag, time.Since(start).Round(time.Millisecond),
+		*stratFlag, *epsFlag, *workersFlag, rep.Timings.Total.Round(time.Millisecond),
 		rep.Result.Stats.Branches)
 	if rep.Result.TimedOut {
 		fmt.Print("  [timed out: bounds are partial]")
 	}
 	fmt.Println()
 
-	targets := append([]prob.TargetBound(nil), rep.Result.Targets...)
-	sort.Slice(targets, func(i, j int) bool { return targets[i].Estimate() > targets[j].Estimate() })
 	limit := *topFlag
 	if limit == 0 || limit > len(targets) {
 		limit = len(targets)
@@ -207,17 +314,18 @@ func parseScheme(s string) (lineage.Scheme, error) {
 	return 0, fmt.Errorf("unknown correlation scheme %q", s)
 }
 
-func parseStrategy(s string) prob.Strategy {
+func parseStrategy(s string) (prob.Strategy, error) {
 	switch s {
+	case "exact":
+		return prob.Exact, nil
 	case "eager":
-		return prob.Eager
+		return prob.Eager, nil
 	case "lazy":
-		return prob.Lazy
+		return prob.Lazy, nil
 	case "hybrid":
-		return prob.Hybrid
-	default:
-		return prob.Exact
+		return prob.Hybrid, nil
 	}
+	return 0, fmt.Errorf("flag -strategy: unknown strategy %q (want exact, eager, lazy, or hybrid)", s)
 }
 
 func splitTargets(s string) []string {

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"enframe/internal/prob"
+)
+
+// setFlags applies overrides on top of defaults and restores them afterwards.
+func setFlags(t *testing.T, f func()) {
+	t.Helper()
+	saveW, saveJ, saveE, saveT, saveN, saveK, saveI := *workersFlag, *jobFlag, *epsFlag, *topFlag, *nFlag, *kFlag, *iterFlag
+	saveS := *stratFlag
+	t.Cleanup(func() {
+		*workersFlag, *jobFlag, *epsFlag, *topFlag, *nFlag, *kFlag, *iterFlag = saveW, saveJ, saveE, saveT, saveN, saveK, saveI
+		*stratFlag = saveS
+	})
+	f()
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		strategy prob.Strategy
+		set      func()
+		wantErr  string // empty = valid
+	}{
+		{"defaults", prob.Exact, func() {}, ""},
+		{"workers-zero", prob.Exact, func() { *workersFlag = 0 }, "-workers"},
+		{"workers-negative", prob.Exact, func() { *workersFlag = -3 }, "-workers"},
+		{"job-zero", prob.Exact, func() { *jobFlag = 0 }, "-job"},
+		{"eps-zero-hybrid", prob.Hybrid, func() { *epsFlag = 0 }, "-eps"},
+		{"eps-zero-exact-ok", prob.Exact, func() { *epsFlag = 0 }, ""},
+		{"top-negative", prob.Exact, func() { *topFlag = -1 }, "-top"},
+		{"n-zero", prob.Exact, func() { *nFlag = 0 }, "-n"},
+		{"k-zero", prob.Exact, func() { *kFlag = 0 }, "-k"},
+		{"iter-zero", prob.Exact, func() { *iterFlag = 0 }, "-iter"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			setFlags(t, tc.set)
+			err := validateFlags(tc.strategy)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error naming %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not name flag %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for s, want := range map[string]prob.Strategy{
+		"exact": prob.Exact, "eager": prob.Eager, "lazy": prob.Lazy, "hybrid": prob.Hybrid,
+	} {
+		got, err := parseStrategy(s)
+		if err != nil || got != want {
+			t.Errorf("parseStrategy(%q) = %v, %v; want %v, nil", s, got, err, want)
+		}
+	}
+	if _, err := parseStrategy("banana"); err == nil {
+		t.Error("parseStrategy accepted an unknown strategy")
+	} else if !strings.Contains(err.Error(), "-strategy") {
+		t.Errorf("unknown-strategy error %q does not name the flag", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"enframe/internal/event"
 	"enframe/internal/lang"
@@ -56,21 +57,62 @@ type Report struct {
 	Net *network.Net
 	// Translation exposes the final symbolic bindings.
 	Translation *translate.Result
+	// Ground is the hash-cons accounting of the network construction.
+	Ground network.BuilderStats
+	// Timings is the wall-clock breakdown of the run across stages.
+	Timings Timings
 }
 
-// Run executes the full ENFrame pipeline.
+// Timings is the per-stage wall-clock breakdown of one pipeline run.
+// Translate includes semantic checking; Compile's internal breakdown
+// (order/init/explore) lives in Result.Stats.Timings.
+type Timings struct {
+	Lex       time.Duration
+	Parse     time.Duration
+	Translate time.Duration
+	Ground    time.Duration
+	Compile   time.Duration
+	Total     time.Duration
+}
+
+// Run executes the full ENFrame pipeline. When spec.Compile.Obs is set,
+// every stage is traced as a span under the trace root and the hot layers
+// publish counters into the trace's metrics registry.
 func Run(spec Spec) (*Report, error) {
-	prog, err := lang.Parse(spec.Source)
+	tr := spec.Compile.Obs
+	root := tr.Root()
+	var tm Timings
+	tTotal := time.Now()
+
+	tLex := time.Now()
+	lexSpan := root.Start("lex")
+	toks, err := lang.Tokens(spec.Source)
+	lexSpan.SetInt("tokens", int64(len(toks)))
+	lexSpan.End()
+	tm.Lex = time.Since(tLex)
+	if err != nil {
+		return nil, fmt.Errorf("core: lex: %w", err)
+	}
+
+	tParse := time.Now()
+	parseSpan := root.Start("parse")
+	prog, err := lang.ParseTokens(toks)
+	parseSpan.End()
+	tm.Parse = time.Since(tParse)
 	if err != nil {
 		return nil, fmt.Errorf("core: parse: %w", err)
 	}
+
+	tTranslate := time.Now()
 	res, err := translate.Translate(prog, translate.External{
 		Objects:     spec.Objects,
 		Space:       spec.Space,
 		Matrix:      spec.Matrix,
 		Params:      spec.Params,
 		InitIndices: spec.InitIndices,
+		Obs:         tr,
 	})
+	tm.Translate = time.Since(tTranslate)
 	if err != nil {
 		return nil, fmt.Errorf("core: translate: %w", err)
 	}
@@ -78,20 +120,38 @@ func Run(spec Spec) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	tGround := time.Now()
+	groundSpan := root.Start("ground")
 	b := network.NewBuilder(spec.Space, spec.Metric)
+	b.SetObs(tr.Metrics())
 	for _, sym := range targets {
 		e, ok := res.BoolEvent(sym)
 		if !ok {
+			groundSpan.End()
 			return nil, fmt.Errorf("core: target %q is not a Boolean program variable", sym)
 		}
 		b.Target(sym, b.AddExpr(e))
 	}
 	net := b.Build()
+	ground := b.Stats()
+	groundSpan.SetInt("nodes", int64(net.NumNodes()))
+	groundSpan.SetInt("targets", int64(len(net.Targets)))
+	groundSpan.SetFloat("hashcons_hit_rate", ground.HitRate())
+	groundSpan.End()
+	tm.Ground = time.Since(tGround)
+
+	tCompile := time.Now()
 	pr, err := prob.Compile(net, spec.Compile)
+	tm.Compile = time.Since(tCompile)
+	tm.Total = time.Since(tTotal)
 	if err != nil {
 		return nil, fmt.Errorf("core: compile: %w", err)
 	}
-	return &Report{Result: pr, Events: res.Program, Net: net, Translation: res}, nil
+	return &Report{
+		Result: pr, Events: res.Program, Net: net, Translation: res,
+		Ground: ground, Timings: tm,
+	}, nil
 }
 
 // expandTargets resolves target patterns against the translated bindings.

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"enframe/internal/data"
+	"enframe/internal/lang"
+	"enframe/internal/lineage"
+	"enframe/internal/obs"
+	"enframe/internal/prob"
+)
+
+// TestRunTraced checks that a traced end-to-end run produces a span tree
+// covering every pipeline stage, fills Report.Timings, and records
+// hash-consing stats from grounding.
+func TestRunTraced(t *testing.T) {
+	objs, space, err := lineage.Attach(data.Points(8, 1), lineage.Config{
+		Scheme: lineage.Positive, NumVars: 6, L: 8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New("run")
+	rep, err := Run(Spec{
+		Source:      lang.KMedoidsSource,
+		Objects:     objs,
+		Space:       space,
+		Params:      []int{2, 2},
+		InitIndices: []int{0, 1},
+		Targets:     []string{"Centre["},
+		Compile:     prob.Options{Strategy: prob.Exact, Obs: tr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+
+	tree := tr.Tree()
+	for _, stage := range []string{"lex", "parse", "check", "translate", "ground", "compile"} {
+		if !strings.Contains(tree, stage) {
+			t.Errorf("trace tree missing stage %q:\n%s", stage, tree)
+		}
+	}
+
+	tm := rep.Timings
+	if tm.Total <= 0 {
+		t.Fatalf("Timings.Total = %v, want > 0", tm.Total)
+	}
+	sum := tm.Lex + tm.Parse + tm.Translate + tm.Ground + tm.Compile
+	if sum > tm.Total {
+		t.Errorf("stage timings sum %v exceeds total %v", sum, tm.Total)
+	}
+
+	if rep.Ground.Lookups == 0 || rep.Ground.Created == 0 {
+		t.Errorf("grounding stats empty: %+v", rep.Ground)
+	}
+	if hr := rep.Ground.HitRate(); hr < 0 || hr > 1 {
+		t.Errorf("hash-cons hit rate %v out of [0,1]", hr)
+	}
+	if got := tr.Metrics().Counter("network.hashcons.lookups").Value(); got != rep.Ground.Lookups {
+		t.Errorf("metrics lookups %d != report %d", got, rep.Ground.Lookups)
+	}
+}
+
+// TestRunUntracedTimings checks stage timings are recorded even when no
+// trace is attached — they are plain Report fields, not trace artifacts.
+func TestRunUntracedTimings(t *testing.T) {
+	objs, space, err := lineage.Attach(data.Points(6, 1), lineage.Config{
+		Scheme: lineage.Positive, NumVars: 5, L: 8, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Spec{
+		Source:      lang.KMedoidsSource,
+		Objects:     objs,
+		Space:       space,
+		Params:      []int{2, 2},
+		InitIndices: []int{0, 1},
+		Targets:     []string{"Centre["},
+		Compile:     prob.Options{Strategy: prob.Exact},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Timings.Total <= 0 || rep.Timings.Translate <= 0 {
+		t.Errorf("untraced run lost timings: %+v", rep.Timings)
+	}
+}

@@ -27,10 +27,22 @@ var builtins = map[string]struct{ minArgs, maxArgs int }{
 // Parse lexes and parses a user program. A common indentation margin (from
 // Go source literals) is stripped first.
 func Parse(src string) (*Program, error) {
-	toks, err := Lex(stripCommon(src))
+	toks, err := Tokens(src)
 	if err != nil {
 		return nil, err
 	}
+	return ParseTokens(toks)
+}
+
+// Tokens lexes a user program exactly as Parse does (the common indentation
+// margin is stripped first). Split out so callers can time and trace lexing
+// separately from parsing.
+func Tokens(src string) ([]Token, error) {
+	return Lex(stripCommon(src))
+}
+
+// ParseTokens parses a token stream produced by Tokens.
+func ParseTokens(toks []Token) (*Program, error) {
 	p := &parser{toks: toks}
 	prog := &Program{}
 	for !p.at(TokEOF) {

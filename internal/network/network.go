@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"enframe/internal/event"
+	"enframe/internal/obs"
 	"enframe/internal/vec"
 )
 
@@ -87,6 +88,9 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
+// numKinds is the number of node kinds (for per-kind counters).
+const numKinds = int(KDist) + 1
+
 // IsBool reports whether nodes of this kind carry Boolean values; the
 // remaining kinds carry values of the extended numeric domain (scalars,
 // vectors, u).
@@ -136,6 +140,21 @@ type Net struct {
 // NumNodes reports the network size.
 func (n *Net) NumNodes() int { return len(n.Nodes) }
 
+// KindCounts returns the number of live network nodes per node kind.
+func (n *Net) KindCounts() map[string]int64 {
+	var by [numKinds]int64
+	for _, nd := range n.Nodes {
+		by[nd.Kind]++
+	}
+	out := make(map[string]int64, numKinds)
+	for k, c := range by {
+		if c > 0 {
+			out[Kind(k).String()] = c
+		}
+	}
+	return out
+}
+
 // Builder constructs a network with structural hash-consing: structurally
 // identical subexpressions become the same node, so the repetitive event
 // programs of data mining tasks stay compact.
@@ -148,6 +167,12 @@ type Builder struct {
 	numMemo  map[event.NumExpr]NodeID
 	targets  []Target
 	noFold   bool
+	// Hash-cons accounting: lookups and hits of intern, created nodes per
+	// kind. Published to reg (when set) by Build.
+	lookups     int64
+	hits        int64
+	kindCreated [numKinds]int64
+	reg         *obs.Registry
 }
 
 // NewBuilder returns a builder over the given variable space. A nil metric
@@ -167,13 +192,57 @@ func NewBuilder(space *event.Space, metric vec.Distance) *Builder {
 
 func (b *Builder) intern(n Node) NodeID {
 	key := internKey(n)
+	b.lookups++
 	if id, ok := b.interned[key]; ok {
+		b.hits++
 		return id
 	}
+	b.kindCreated[n.Kind]++
 	id := NodeID(len(b.nodes))
 	b.nodes = append(b.nodes, n)
 	b.interned[key] = id
 	return id
+}
+
+// SetObs directs the builder to publish hash-cons and node-kind metrics to
+// the registry when Build runs. A nil registry disables publishing.
+func (b *Builder) SetObs(reg *obs.Registry) { b.reg = reg }
+
+// BuilderStats is the hash-cons accounting of one network construction.
+type BuilderStats struct {
+	// Lookups counts intern consults; Hits of them resolved to an already
+	// existing structurally identical node.
+	Lookups int64
+	Hits    int64
+	// Created counts distinct nodes built (Lookups − Hits).
+	Created int64
+	// ByKind breaks Created down per node kind.
+	ByKind map[string]int64
+}
+
+// HitRate returns Hits/Lookups (0 when nothing was interned).
+func (s BuilderStats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// Stats snapshots the builder's hash-cons accounting; valid before and
+// after Build.
+func (b *Builder) Stats() BuilderStats {
+	st := BuilderStats{
+		Lookups: b.lookups,
+		Hits:    b.hits,
+		Created: b.lookups - b.hits,
+		ByKind:  make(map[string]int64, numKinds),
+	}
+	for k, c := range b.kindCreated {
+		if c > 0 {
+			st.ByKind[Kind(k).String()] = c
+		}
+	}
+	return st
 }
 
 func internKey(n Node) string {
@@ -544,7 +613,7 @@ func (b *Builder) Build() *Net {
 			varNode[n.Var] = NodeID(id)
 		}
 	}
-	return &Net{
+	net := &Net{
 		Space:   b.space,
 		Metric:  b.metric,
 		Nodes:   nodes,
@@ -552,6 +621,18 @@ func (b *Builder) Build() *Net {
 		Targets: targets,
 		VarNode: varNode,
 	}
+	if b.reg != nil {
+		st := b.Stats()
+		b.reg.Counter("network.hashcons.lookups").Add(st.Lookups)
+		b.reg.Counter("network.hashcons.hits").Add(st.Hits)
+		b.reg.Counter("network.nodes.created").Add(st.Created)
+		b.reg.Counter("network.nodes.live").Add(int64(len(nodes)))
+		b.reg.Gauge("network.hashcons.hit_rate").Set(st.HitRate())
+		for kind, c := range net.KindCounts() {
+			b.reg.Counter("network.nodes.kind." + kind).Add(c)
+		}
+	}
+	return net
 }
 
 // sweep keeps only the nodes reachable downward from a target, preserving

@@ -1,0 +1,45 @@
+package obs
+
+import "testing"
+
+// BenchmarkDisabled measures the nil (observability-off) fast path; the
+// acceptance bar is 0 allocs/op and low single-digit ns.
+func BenchmarkDisabled(b *testing.B) {
+	var tr *Trace
+	var c *Counter
+	var tl *Timeline
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Root().Start("x")
+		sp.SetInt("k", int64(i))
+		sp.End()
+		c.Add(1)
+		tl.Add(0, 1)
+	}
+}
+
+// BenchmarkEnabledCounter measures the enabled counter hot path (one atomic
+// add after a one-time lookup).
+func BenchmarkEnabledCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkEnabledSpan measures span creation + end when tracing is on.
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := New("bench")
+	root := tr.Root()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := root.Start("x")
+		sp.End()
+	}
+	b.StopTimer()
+	tr.Finish()
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace_event export: one "X" (complete) event per span and one "i"
+// (instant) event per timeline point, in the JSON-object format understood
+// by chrome://tracing and https://ui.perfetto.dev. Timestamps are
+// microseconds relative to the root span's start, so traces are
+// deterministic up to wall time regardless of when the run happened.
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serialises the trace as Chrome trace_event JSON.
+// Open spans are exported as running up to the export instant.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
+		return err
+	}
+	t.mu.Lock()
+	f := chromeFile{DisplayTimeUnit: "ms"}
+	f.TraceEvents = append(f.TraceEvents, chromeEvent{
+		Name: "process_name", Phase: "M", PID: 1, TID: 1,
+		Args: map[string]any{"name": t.root.name},
+	})
+	t.root.chromeEvents(&f.TraceEvents)
+	for _, name := range t.timelineNames() {
+		tl := t.timelines[name]
+		tl.mu.Lock()
+		for _, p := range tl.points {
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: name, Cat: "timeline", Phase: "i", Scope: "t",
+				TS: float64(p.At.Microseconds()), PID: 1, TID: 1,
+				Args: map[string]any{"key": p.Key, "val": p.Val},
+			})
+		}
+		tl.mu.Unlock()
+	}
+	t.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+func (s *Span) chromeEvents(out *[]chromeEvent) {
+	ts := float64(s.start.Sub(s.t.root.start).Microseconds())
+	dur := float64(s.durLocked().Microseconds())
+	ev := chromeEvent{
+		Name: s.name, Cat: "pipeline", Phase: "X",
+		TS: ts, Dur: &dur, PID: 1, TID: s.tid,
+	}
+	if len(s.attrs) > 0 {
+		ev.Args = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			ev.Args[a.Key] = a.Value()
+		}
+	}
+	*out = append(*out, ev)
+	for _, c := range s.children {
+		c.chromeEvents(out)
+	}
+}

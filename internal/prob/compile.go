@@ -7,6 +7,7 @@ import (
 
 	"enframe/internal/event"
 	"enframe/internal/network"
+	"enframe/internal/obs"
 )
 
 // ErrNoTargets is returned when the network declares no compilation targets.
@@ -29,12 +30,34 @@ func Compile(net *network.Net, opts Options) (*Result, error) {
 	if opts.Strategy != Exact {
 		eps2 = 2 * opts.Epsilon
 	}
+	span := opts.Obs.Root().Start("compile")
+	defer span.End()
+	span.SetStr("strategy", opts.Strategy.String())
+	if opts.Strategy != Exact {
+		span.SetFloat("eps", opts.Epsilon)
+	}
+	span.SetInt("workers", int64(opts.Workers))
+	span.SetInt("targets", int64(len(net.Targets)))
+	span.SetInt("nodes", int64(net.NumNodes()))
+
+	tOrder := time.Now()
+	orderSpan := span.Start("order")
+	order := computeOrder(net, opts)
+	orderSpan.SetInt("vars", int64(len(order)))
+	orderSpan.End()
+	orderDur := time.Since(tOrder)
+
 	run := &runner{
 		net:    net,
 		types:  types,
 		opts:   opts,
-		order:  computeOrder(net, opts),
+		order:  order,
+		span:   span,
 		bounds: newBoundsBook(len(net.Targets), eps2),
+	}
+	if opts.Strategy.budgeted() {
+		// Bounded per-target budget-spend timeline; nil when tracing is off.
+		run.timeline = opts.Obs.Timeline("budget.spend", budgetTimelineCap)
 	}
 	if opts.Timeout > 0 {
 		run.deadline = time.Now().Add(opts.Timeout)
@@ -51,6 +74,24 @@ func Compile(net *network.Net, opts Options) (*Result, error) {
 	}
 	stats.Duration = time.Since(start)
 	stats.NetworkNodes = net.NumNodes()
+	stats.Timings.Order = orderDur
+
+	span.SetInt("branches", stats.Branches)
+	span.SetInt("max_depth", stats.MaxDepth)
+	if stats.BudgetPrunes > 0 {
+		span.SetInt("budget_prunes", stats.BudgetPrunes)
+	}
+	if run.timedOut.Load() {
+		span.SetStr("timed_out", "true")
+	}
+	if reg := opts.Obs.Metrics(); reg != nil {
+		reg.Counter("prob.branches").Add(stats.Branches)
+		reg.Counter("prob.assignments").Add(stats.Assignments)
+		reg.Counter("prob.mask_updates").Add(stats.MaskUpdates)
+		reg.Counter("prob.budget_prunes").Add(stats.BudgetPrunes)
+		reg.Counter("prob.jobs").Add(stats.Jobs)
+		reg.Gauge("prob.tree.max_depth").SetMax(float64(stats.MaxDepth))
+	}
 	lo, hi := run.bounds.snapshot()
 	res := &Result{Stats: stats, TimedOut: run.timedOut.Load()}
 	for i, t := range net.Targets {
@@ -70,6 +111,10 @@ func Compile(net *network.Net, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// budgetTimelineCap bounds the per-target budget-spend timeline recorded
+// under tracing; beyond it, points are counted as dropped.
+const budgetTimelineCap = 8192
+
 // runner holds the pieces shared by all workers of one compilation.
 type runner struct {
 	net      *network.Net
@@ -77,6 +122,8 @@ type runner struct {
 	opts     Options
 	order    []event.VarID
 	bounds   *boundsBook
+	span     *obs.Span     // compile span (nil when tracing is off)
+	timeline *obs.Timeline // budget-spend timeline (nil unless traced+budgeted)
 	deadline time.Time
 	stop     atomic.Bool // set on timeout or external abort
 	timedOut atomic.Bool
@@ -84,8 +131,15 @@ type runner struct {
 }
 
 func (r *runner) runSequential() Stats {
+	tInit := time.Now()
+	initSpan := r.span.Start("init")
 	s := r.attach(newState(r.net, r.types, r.opts, r.bounds))
 	s.initAll()
+	initSpan.End()
+	s.stats.Timings.Init = time.Since(tInit)
+
+	tExplore := time.Now()
+	exploreSpan := r.span.Start("explore")
 	w := &walker{state: s, run: r}
 	E := make([]float64, len(r.net.Targets))
 	if r.opts.Strategy.budgeted() {
@@ -94,6 +148,9 @@ func (r *runner) runSequential() Stats {
 		}
 	}
 	w.dfs(0, 0, -1, false, 1, E)
+	exploreSpan.SetInt("branches", s.stats.Branches)
+	exploreSpan.End()
+	s.stats.Timings.Explore = time.Since(tExplore)
 	s.stats.Jobs = 1
 	return s.stats
 }
@@ -130,6 +187,9 @@ func (w *walker) dfs(depth, oi int, x event.VarID, xval bool, p float64, E []flo
 	s := w.state
 	r := w.run
 	s.stats.Branches++
+	if int64(depth) > s.stats.MaxDepth {
+		s.stats.MaxDepth = int64(depth)
+	}
 	if s.stats.Branches&1023 == 0 {
 		r.checkDeadline()
 	}
@@ -141,6 +201,11 @@ func (w *walker) dfs(depth, oi int, x event.VarID, xval bool, p float64, E []flo
 	// mass, cut the subtree and consume the budget.
 	if budgeted && p <= minOf(E) {
 		s.stats.BudgetPrunes++
+		if r.timeline != nil {
+			for i := range E {
+				r.timeline.Add(i, p)
+			}
+		}
 		for i := range E {
 			E[i] -= p
 		}

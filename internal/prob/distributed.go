@@ -1,6 +1,7 @@
 package prob
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -125,8 +126,16 @@ func (b *budgetPool) withdraw(E []float64) {
 func (r *runner) runDistributed() Stats {
 	// The pristine state provides the root job's masks; its initial pass
 	// records targets decided without any assignment.
+	tInit := time.Now()
+	initSpan := r.span.Start("init")
 	pristine := r.attach(newState(r.net, r.types, r.opts, r.bounds))
 	pristine.initAll()
+	initSpan.End()
+	initDur := time.Since(tInit)
+
+	tExplore := time.Now()
+	dspan := r.span.Start("distribute")
+	defer dspan.End()
 
 	queue := newWorkQueue(4 * r.opts.Workers)
 	pool := &budgetPool{}
@@ -146,12 +155,22 @@ func (r *runner) runDistributed() Stats {
 		E:         E0,
 	})
 
+	type workerReport struct {
+		id    int
+		stats Stats
+		busy  time.Duration
+	}
 	var wg sync.WaitGroup
-	statsCh := make(chan Stats, r.opts.Workers)
+	statsCh := make(chan workerReport, r.opts.Workers)
 	for wi := 0; wi < r.opts.Workers; wi++ {
 		wg.Add(1)
-		go func() {
+		go func(wi int) {
 			defer wg.Done()
+			wspan := dspan.Start("worker")
+			wspan.SetTID(wi + 2)
+			wspan.SetInt("id", int64(wi))
+			defer wspan.End()
+			var busy time.Duration
 			s := r.attach(newState(r.net, r.types, r.opts, r.bounds))
 			w := &walker{state: s, run: r, forkDepth: r.opts.JobDepth}
 			w.fork = func(oi int, p float64, E []float64) bool {
@@ -178,23 +197,42 @@ func (r *runner) runDistributed() Stats {
 					break
 				}
 				s.stats.Jobs++
+				t0 := time.Now()
 				r.runJob(w, pool, j)
+				busy += time.Since(t0)
 				queue.done()
 			}
-			statsCh <- s.stats
-		}()
+			wspan.SetInt("jobs", s.stats.Jobs)
+			wspan.SetInt("branches", s.stats.Branches)
+			wspan.SetDuration("busy_ms", busy)
+			statsCh <- workerReport{id: wi, stats: s.stats, busy: busy}
+		}(wi)
 	}
 	wg.Wait()
 	close(statsCh)
 	var total Stats
-	for st := range statsCh {
+	total.PerWorker = make([]WorkerStats, r.opts.Workers)
+	for rep := range statsCh {
+		st := rep.stats
 		total.Branches += st.Branches
 		total.Assignments += st.Assignments
 		total.MaskUpdates += st.MaskUpdates
 		total.BudgetPrunes += st.BudgetPrunes
 		total.Jobs += st.Jobs
+		if st.MaxDepth > total.MaxDepth {
+			total.MaxDepth = st.MaxDepth
+		}
+		total.PerWorker[rep.id] = WorkerStats{Jobs: st.Jobs, Branches: st.Branches, Busy: rep.busy}
 	}
 	total.MaskUpdates += pristine.stats.MaskUpdates
+	total.Timings.Init = initDur
+	total.Timings.Explore = time.Since(tExplore)
+	if reg := r.opts.Obs.Metrics(); reg != nil {
+		for wi, ws := range total.PerWorker {
+			reg.Gauge(fmt.Sprintf("prob.worker.%d.utilization", wi)).
+				Set(ws.Utilization(total.Timings.Explore))
+		}
+	}
 	return total
 }
 
@@ -233,8 +271,17 @@ func (r *runner) runJob(w *walker, pool *budgetPool, j job) {
 // methodology ("timings reported for hybrid-d were obtained by simulating
 // distributed computation on a single machine", §5).
 func (r *runner) runSimulated() Stats {
+	tInit := time.Now()
+	initSpan := r.span.Start("init")
 	pristine := r.attach(newState(r.net, r.types, r.opts, r.bounds))
 	pristine.initAll()
+	initSpan.End()
+	initDur := time.Since(tInit)
+
+	tExplore := time.Now()
+	dspan := r.span.Start("distribute")
+	dspan.SetStr("mode", "simulated")
+	defer dspan.End()
 
 	type simJob struct {
 		job
@@ -263,6 +310,8 @@ func (r *runner) runSimulated() Stats {
 	s := r.attach(newState(r.net, r.types, r.opts, r.bounds))
 	w := &walker{state: s, run: r, forkDepth: r.opts.JobDepth}
 	workers := make([]time.Duration, r.opts.Workers)
+	busyPer := make([]time.Duration, r.opts.Workers)
+	jobsPer := make([]int64, r.opts.Workers)
 	var forked []job
 	maxPending := 4 * r.opts.Workers
 	w.fork = func(oi int, p float64, E []float64) bool {
@@ -307,6 +356,8 @@ func (r *runner) runSimulated() Stats {
 		}
 		end := start + dur
 		workers[wi] = end
+		busyPer[wi] += dur
+		jobsPer[wi]++
 		if end > makespan {
 			makespan = end
 		}
@@ -316,5 +367,19 @@ func (r *runner) runSimulated() Stats {
 	}
 	s.stats.SimulatedMakespan = makespan
 	s.stats.MaskUpdates += pristine.stats.MaskUpdates
+	s.stats.Timings.Init = initDur
+	s.stats.Timings.Explore = time.Since(tExplore)
+	s.stats.PerWorker = make([]WorkerStats, r.opts.Workers)
+	for wi := range s.stats.PerWorker {
+		s.stats.PerWorker[wi] = WorkerStats{Jobs: jobsPer[wi], Busy: busyPer[wi]}
+	}
+	dspan.SetInt("jobs", s.stats.Jobs)
+	dspan.SetDuration("virtual_makespan_ms", makespan)
+	if reg := r.opts.Obs.Metrics(); reg != nil {
+		for wi, ws := range s.stats.PerWorker {
+			reg.Gauge(fmt.Sprintf("prob.worker.%d.utilization", wi)).
+				Set(ws.Utilization(makespan))
+		}
+	}
 	return s.stats
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"enframe/internal/event"
+	"enframe/internal/obs"
 )
 
 // Strategy selects between exact compilation and the three approximation
@@ -103,6 +104,13 @@ type Options struct {
 	// Timeout aborts compilation, returning the bounds reached so far
 	// with Result.TimedOut set. Zero means no timeout.
 	Timeout time.Duration
+	// Obs, when non-nil, receives spans for every compilation stage
+	// (order → init → explore/distribute, plus one span per distributed
+	// worker), work counters in its metrics registry, and — for budgeted
+	// strategies — a bounded "budget.spend" timeline of per-target error
+	// budget consumption. A nil Trace disables all of it at the cost of a
+	// nil check (no allocation; see internal/obs).
+	Obs *obs.Trace
 }
 
 func (o Options) withDefaults() Options {
@@ -155,6 +163,9 @@ type Stats struct {
 	MaskUpdates int64
 	// BudgetPrunes counts subtrees cut by the error budget.
 	BudgetPrunes int64
+	// MaxDepth is the deepest decision-tree node visited (0 when only the
+	// root was needed).
+	MaxDepth int64
 	// Jobs counts distributed jobs (1 for sequential runs).
 	Jobs int64
 	// SimulatedMakespan is the virtual wall-clock of a simulated
@@ -164,6 +175,41 @@ type Stats struct {
 	NetworkNodes int
 	// Duration is the wall-clock compilation time.
 	Duration time.Duration
+	// Timings breaks Duration into compilation stages.
+	Timings StageTimings
+	// PerWorker holds per-worker utilisation of a distributed run, indexed
+	// by worker id (nil for sequential runs). For simulated runs, Busy is
+	// virtual busy time on the simulated cluster and Branches is zero (a
+	// single real state explores every virtual job).
+	PerWorker []WorkerStats
+}
+
+// StageTimings is the wall-clock breakdown of one compilation.
+type StageTimings struct {
+	// Order is the variable-order computation (§4.2 heuristic).
+	Order time.Duration
+	// Init is the initial bottom-up mask pass over the network.
+	Init time.Duration
+	// Explore is the decision-tree exploration (including distribution).
+	Explore time.Duration
+}
+
+// WorkerStats summarises one worker of a distributed compilation.
+type WorkerStats struct {
+	// Jobs and Branches count the work the worker performed.
+	Jobs     int64
+	Branches int64
+	// Busy is the time spent executing jobs (as opposed to waiting on the
+	// queue); for simulated workers it is virtual time.
+	Busy time.Duration
+}
+
+// Utilization returns Busy as a fraction of the given makespan.
+func (w WorkerStats) Utilization(makespan time.Duration) float64 {
+	if makespan <= 0 {
+		return 0
+	}
+	return float64(w.Busy) / float64(makespan)
 }
 
 // Result is the outcome of a compilation.

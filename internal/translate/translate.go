@@ -16,6 +16,7 @@ import (
 	"enframe/internal/event"
 	"enframe/internal/lang"
 	"enframe/internal/lineage"
+	"enframe/internal/obs"
 )
 
 // External supplies the bindings for loadData(), loadParams(), and init(),
@@ -27,6 +28,9 @@ type External struct {
 	Matrix      [][]float64
 	Params      []int
 	InitIndices []int
+	// Obs, when non-nil, receives "check" and "translate" spans under the
+	// trace root, annotated with declaration and symbol counts.
+	Obs *obs.Trace
 }
 
 // Result is a translated program: the grounded event program plus the final
@@ -73,9 +77,14 @@ func (r *Result) SymbolsWithPrefix(prefix string) []string {
 // Translate validates and translates a user program over the given external
 // bindings.
 func Translate(prog *lang.Program, ext External) (*Result, error) {
-	if err := lang.Validate(prog); err != nil {
+	checkSpan := ext.Obs.Root().Start("check")
+	err := lang.Validate(prog)
+	checkSpan.End()
+	if err != nil {
 		return nil, err
 	}
+	span := ext.Obs.Root().Start("translate")
+	defer span.End()
 	space := ext.Space
 	if space == nil {
 		space = event.NewSpace()
@@ -102,6 +111,8 @@ func Translate(prog *lang.Program, ext External) (*Result, error) {
 	for sym, ls := range tr.labels {
 		res.labels[sym] = ls.last
 	}
+	span.SetInt("decls", int64(len(tr.prog.Decls)))
+	span.SetInt("symbols", int64(len(res.finalB)+len(res.finalN)))
 	return res, nil
 }
 
