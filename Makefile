@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test test-short test-race vet fuzz-smoke fuzz bench obs-race smoke ci
+.PHONY: build test test-short test-race vet fuzz-smoke fuzz bench bench-serve obs-race smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,12 @@ fuzz:
 bench:
 	$(GO) run ./cmd/bench -out BENCH_pipeline.json
 
+# bench-serve loads the serving layer (in-process, ephemeral port) and
+# refreshes BENCH_serve.json: throughput, p50/p95/p99 latency, and the
+# compiled-artifact cache hit rate.
+bench-serve:
+	$(GO) run ./cmd/loadgen -out BENCH_serve.json
+
 # obs-race runs the metrics-registry and tracer tests under the race
 # detector with concurrent workers hammering shared counters and spans.
 obs-race:
@@ -50,4 +56,10 @@ smoke: build
 	$(GO) run ./cmd/enframe -program kmedoids -n 8 -vars 6 -iter 2 \
 		-strategy hybrid -eps 0.1 -workers 4 -metrics > /dev/null
 
-ci: vet build test test-race obs-race smoke
+# serve-smoke boots a server on an ephemeral port, POSTs the builtin
+# kmedoids request twice, asserts the second response reports a cache hit,
+# and drains.
+serve-smoke: build
+	$(GO) run ./cmd/loadgen -smoke
+
+ci: vet build test test-race obs-race smoke serve-smoke

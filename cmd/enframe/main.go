@@ -30,11 +30,20 @@
 // the reference evaluator, the approximation strategies, and the
 // distributed runner (internal/difftest). A failure prints the seed that
 // reproduces it with `enframe fuzz -seed N -n 1`.
+//
+// The serve subcommand starts the long-lived HTTP serving layer
+// (internal/server, see SERVING.md):
+//
+//	enframe serve -addr 127.0.0.1:8080 -inflight 64
+//
+// Invocations without a subcommand dispatch to run, so the historical
+// flags-only form keeps working.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -51,51 +60,87 @@ import (
 	"enframe/internal/translate"
 )
 
-var (
-	programFlag = flag.String("program", "kmedoids", "builtin program (kmedoids, kmeans, mcl) or a file path")
-	nFlag       = flag.Int("n", 12, "number of data points")
-	schemeFlag  = flag.String("scheme", "positive", "correlation scheme: independent, positive, mutex, conditional")
-	varsFlag    = flag.Int("vars", 10, "variable pool size for the positive scheme")
-	lFlag       = flag.Int("l", 8, "literals per event (positive scheme)")
-	mFlag       = flag.Int("m", 12, "mutex set cardinality")
-	certainFlag = flag.Float64("certain", 0, "fraction of certain data points")
-	groupFlag   = flag.Int("group", 4, "points per lineage group")
-	kFlag       = flag.Int("k", 2, "number of clusters")
-	iterFlag    = flag.Int("iter", 3, "number of iterations")
-	rFlag       = flag.Int("r", 2, "Hadamard power (mcl)")
-	targetsFlag = flag.String("targets", "Centre[", "comma-separated target symbols or prefixes ending in [")
-	stratFlag   = flag.String("strategy", "exact", "exact, eager, lazy, or hybrid")
-	epsFlag     = flag.Float64("eps", 0.1, "absolute approximation error ε")
-	workersFlag = flag.Int("workers", 1, "distributed workers (>1 enables distribution)")
-	jobFlag     = flag.Int("job", 3, "distributed job size d")
-	timeoutFlag = flag.Duration("timeout", time.Minute, "compilation timeout")
-	seedFlag    = flag.Int64("seed", 1, "random seed")
-	dumpFlag    = flag.Bool("dump-events", false, "print the translated event program and exit")
-	topFlag     = flag.Int("top", 20, "print at most this many targets (0 = all)")
+// runFlags is the flag set of the (default) run subcommand.
+var runFlags = flag.NewFlagSet("run", flag.ExitOnError)
 
-	traceFlag    = flag.Bool("trace", false, "print the pipeline span tree after the run")
-	traceOutFlag = flag.String("trace-out", "", "write a Chrome trace_event JSON file (open in about:tracing or ui.perfetto.dev)")
-	metricsFlag  = flag.Bool("metrics", false, "print the metrics registry after the run")
-	jsonFlag     = flag.Bool("json", false, "emit one JSON object on stdout instead of the table")
-	pprofFlag    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+var (
+	programFlag = runFlags.String("program", "kmedoids", "builtin program (kmedoids, kmeans, mcl) or a file path")
+	nFlag       = runFlags.Int("n", 12, "number of data points")
+	schemeFlag  = runFlags.String("scheme", "positive", "correlation scheme: independent, positive, mutex, conditional")
+	varsFlag    = runFlags.Int("vars", 10, "variable pool size for the positive scheme")
+	lFlag       = runFlags.Int("l", 8, "literals per event (positive scheme)")
+	mFlag       = runFlags.Int("m", 12, "mutex set cardinality")
+	certainFlag = runFlags.Float64("certain", 0, "fraction of certain data points")
+	groupFlag   = runFlags.Int("group", 4, "points per lineage group")
+	kFlag       = runFlags.Int("k", 2, "number of clusters")
+	iterFlag    = runFlags.Int("iter", 3, "number of iterations")
+	rFlag       = runFlags.Int("r", 2, "Hadamard power (mcl)")
+	targetsFlag = runFlags.String("targets", "Centre[", "comma-separated target symbols or prefixes ending in [")
+	stratFlag   = runFlags.String("strategy", "exact", "exact, eager, lazy, or hybrid")
+	epsFlag     = runFlags.Float64("eps", 0.1, "absolute approximation error ε")
+	workersFlag = runFlags.Int("workers", 1, "distributed workers (>1 enables distribution)")
+	jobFlag     = runFlags.Int("job", 3, "distributed job size d")
+	timeoutFlag = runFlags.Duration("timeout", time.Minute, "compilation timeout")
+	seedFlag    = runFlags.Int64("seed", 1, "random seed")
+	dumpFlag    = runFlags.Bool("dump-events", false, "print the translated event program and exit")
+	topFlag     = runFlags.Int("top", 20, "print at most this many targets (0 = all)")
+
+	traceFlag    = runFlags.Bool("trace", false, "print the pipeline span tree after the run")
+	traceOutFlag = runFlags.String("trace-out", "", "write a Chrome trace_event JSON file (open in about:tracing or ui.perfetto.dev)")
+	metricsFlag  = runFlags.Bool("metrics", false, "print the metrics registry after the run")
+	jsonFlag     = runFlags.Bool("json", false, "emit one JSON object on stdout instead of the table")
+	pprofFlag    = runFlags.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 )
 
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: enframe [run] [flags]   compile a program over probabilistic data (default)
+       enframe fuzz [flags]    replay the differential verification harness
+       enframe serve [flags]   start the HTTP serving layer (SERVING.md)
+
+Run 'enframe <subcommand> -h' for subcommand flags.`)
+}
+
 func main() {
-	// Subcommands dispatch before the global flags are parsed: `fuzz` has
-	// its own flag set (-seed there is the first generator seed, not the
-	// data seed).
-	if len(os.Args) > 1 && os.Args[1] == "fuzz" {
-		if err := runFuzz(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "enframe:", err)
-			os.Exit(1)
-		}
-		return
+	// Subcommand dispatch: a leading non-flag argument names the
+	// subcommand; the historical flags-only invocation dispatches to run.
+	// Every subcommand owns its flag set (fuzz's -seed is the first
+	// generator seed, not the data seed).
+	args := os.Args[1:]
+	cmd := "run"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
 	}
-	flag.Parse()
-	if err := run(); err != nil {
+	var err error
+	switch cmd {
+	case "run":
+		err = runCmd(args)
+	case "fuzz":
+		err = runFuzz(args)
+	case "serve":
+		err = runServe(args)
+	case "help":
+		usage(os.Stdout)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "enframe: unknown subcommand %q\n\n", cmd)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "enframe:", err)
 		os.Exit(1)
 	}
+}
+
+// runCmd parses the run flag set and executes one pipeline run.
+func runCmd(args []string) error {
+	if err := runFlags.Parse(args); err != nil {
+		return err
+	}
+	if runFlags.NArg() > 0 {
+		return fmt.Errorf("run: unexpected argument %q", runFlags.Arg(0))
+	}
+	return run()
 }
 
 // validateFlags rejects nonsensical flag combinations up front, with the

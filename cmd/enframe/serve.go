@@ -1,0 +1,65 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"enframe/internal/server"
+)
+
+// runServe is the `enframe serve` subcommand: the long-lived serving layer
+// of internal/server, with SIGINT/SIGTERM triggering a graceful drain.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	inflight := fs.Int("inflight", 0, "max concurrently executing runs (0 = 4×GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "max runs waiting for a worker slot (0 = 4×inflight)")
+	cacheEntries := fs.Int("cache", 64, "compiled-artifact LRU capacity (entries)")
+	defTimeout := fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "upper clamp on requested deadlines")
+	maxBody := fs.Int64("max-body", 1<<20, "request body size limit in bytes")
+	grace := fs.Duration("grace", 30*time.Second, "drain grace period on SIGTERM/SIGINT")
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof on the serving mux")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: enframe serve [-addr HOST:PORT] [flags]   (API schema in SERVING.md)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("serve: unexpected argument %q", fs.Arg(0))
+	}
+
+	srv := server.New(server.Config{
+		Addr:           *addr,
+		MaxInflight:    *inflight,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxBodyBytes:   *maxBody,
+		Pprof:          *pprofOn,
+	})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "enframe: serving on http://%s (POST /v1/run, GET /healthz, GET /metrics)\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "enframe: %v received, draining (grace %v)\n", got, *grace)
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "enframe: drained cleanly")
+	return nil
+}

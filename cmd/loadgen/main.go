@@ -1,0 +1,247 @@
+// Command loadgen drives the ENFrame serving layer (internal/server) at
+// configurable concurrency and duration and writes a BENCH_serve.json
+// snapshot: throughput, p50/p95/p99 latency, per-status counts, and the
+// compiled-artifact cache hit rate. With no -addr it boots an in-process
+// server on an ephemeral port, so `make bench-serve` is self-contained;
+// point -addr at a running `enframe serve` to load an external process.
+//
+// `loadgen -smoke` instead runs the CI smoke check: POST one builtin
+// kmedoids request twice, assert the second response reports a cache hit,
+// then drain — exiting nonzero on any violation.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"enframe/internal/server"
+)
+
+var (
+	addrFlag = flag.String("addr", "", "server address (empty = boot an in-process server)")
+	outFlag  = flag.String("out", "BENCH_serve.json", "output file")
+	cFlag    = flag.Int("c", 8, "concurrent client goroutines")
+	durFlag  = flag.Duration("d", 5*time.Second, "measured load duration")
+	keysFlag = flag.Int("keys", 4, "distinct request keys cycled per client (1 = maximal cache reuse)")
+	nFlag    = flag.Int("n", 10, "data points per request")
+	varsFlag = flag.Int("vars", 6, "variable pool of the positive scheme")
+	smokeFlg = flag.Bool("smoke", false, "run the CI smoke check instead of a load run")
+)
+
+func request(key int) server.RunRequest {
+	return server.RunRequest{
+		Program: "kmedoids",
+		Data:    server.DataSpec{N: *nFlag, Vars: *varsFlag, L: 6, Seed: int64(key + 1)},
+		Params:  server.ParamSpec{K: 2, Iter: 2},
+	}
+}
+
+// post sends one run request and reports (latency, HTTP status, cache
+// field). Transport errors return status 0.
+func post(client *http.Client, addr string, req server.RunRequest) (time.Duration, int, string) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, 0, ""
+	}
+	start := time.Now()
+	resp, err := client.Post("http://"+addr+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return time.Since(start), 0, ""
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Cache string `json:"cache"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return time.Since(start), resp.StatusCode, out.Cache
+}
+
+// ensureServer returns the target address, booting an in-process server
+// (and its stop function) when -addr is empty.
+func ensureServer() (string, func(), error) {
+	if *addrFlag != "" {
+		return *addrFlag, func() {}, nil
+	}
+	srv := server.New(server.Config{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		return "", nil, err
+	}
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: drain:", err)
+		}
+	}
+	return srv.Addr(), stop, nil
+}
+
+type sample struct {
+	latency time.Duration
+	status  int
+	cache   string
+}
+
+type snapshot struct {
+	Config    map[string]any     `json:"config"`
+	Requests  int                `json:"requests"`
+	Errors    int                `json:"errors"`
+	Statuses  map[string]int     `json:"statuses"`
+	Rps       float64            `json:"throughput_rps"`
+	LatencyMs map[string]float64 `json:"latency_ms"`
+	CacheHits int                `json:"cache_hits"`
+	CacheMiss int                `json:"cache_misses"`
+	HitRate   float64            `json:"cache_hit_rate"`
+}
+
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+func load(addr string) snapshot {
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *cFlag}}
+
+	// Warm the cache with one request per key so the measured window sees
+	// the steady state, matching a long-lived server's behaviour.
+	for key := 0; key < *keysFlag; key++ {
+		post(client, addr, request(key))
+	}
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+	)
+	deadline := time.Now().Add(*durFlag)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *cFlag; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				lat, status, cache := post(client, addr, request((c+i)%*keysFlag))
+				mu.Lock()
+				samples = append(samples, sample{lat, status, cache})
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := snapshot{
+		Config: map[string]any{
+			"concurrency": *cFlag, "duration": durFlag.String(), "keys": *keysFlag,
+			"program": "kmedoids", "n": *nFlag, "vars": *varsFlag,
+		},
+		Statuses:  map[string]int{},
+		LatencyMs: map[string]float64{},
+	}
+	var lats []time.Duration
+	for _, s := range samples {
+		snap.Requests++
+		snap.Statuses[fmt.Sprintf("%d", s.status)]++
+		switch {
+		case s.status == http.StatusOK:
+			lats = append(lats, s.latency)
+			if s.cache == "hit" {
+				snap.CacheHits++
+			} else {
+				snap.CacheMiss++
+			}
+		case s.status == 0:
+			snap.Errors++
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	snap.Rps = float64(len(lats)) / elapsed.Seconds()
+	snap.LatencyMs["p50"] = percentile(lats, 50)
+	snap.LatencyMs["p95"] = percentile(lats, 95)
+	snap.LatencyMs["p99"] = percentile(lats, 99)
+	if ok := snap.CacheHits + snap.CacheMiss; ok > 0 {
+		snap.HitRate = float64(snap.CacheHits) / float64(ok)
+	}
+	return snap
+}
+
+// smoke is the CI check: two identical requests, the second must be a
+// cache hit, and the server must drain cleanly afterwards.
+func smoke(addr string) error {
+	client := &http.Client{}
+	req := request(0)
+	lat1, status, cache := post(client, addr, req)
+	if status != http.StatusOK {
+		return fmt.Errorf("first request: status %d", status)
+	}
+	if cache != "miss" {
+		return fmt.Errorf("first request: cache %q, want miss", cache)
+	}
+	lat2, status, cache := post(client, addr, req)
+	if status != http.StatusOK {
+		return fmt.Errorf("second request: status %d", status)
+	}
+	if cache != "hit" {
+		return fmt.Errorf("second request: cache %q, want hit", cache)
+	}
+	fmt.Printf("smoke ok: miss %.1fms then hit %.1fms\n",
+		float64(lat1)/float64(time.Millisecond), float64(lat2)/float64(time.Millisecond))
+	return nil
+}
+
+func main() {
+	flag.Parse()
+
+	addr, stop, err := ensureServer()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+
+	if *smokeFlg {
+		err := smoke(addr)
+		stop() // the drain is part of the smoke check
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	snap := load(addr)
+	stop()
+
+	f, err := os.Create(*outFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d requests, %.0f req/s, p50 %.1fms p95 %.1fms p99 %.1fms, hit rate %.1f%%\n",
+		*outFlag, snap.Requests, snap.Rps,
+		snap.LatencyMs["p50"], snap.LatencyMs["p95"], snap.LatencyMs["p99"], snap.HitRate*100)
+}

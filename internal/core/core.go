@@ -8,9 +8,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"enframe/internal/event"
@@ -75,14 +77,62 @@ type Timings struct {
 	Total     time.Duration
 }
 
+// Artifact is the reusable compiled prefix of a run: the translated event
+// program and the grounded, hash-consed event network (§4.1), i.e.
+// everything up to — but not including — probability compilation. An
+// Artifact is immutable after construction (compilation keeps all mutable
+// masks in per-run state), so one Artifact may serve any number of
+// concurrent CompileContext calls with different strategies, ε, workers,
+// and deadlines. The serving layer's compiled-network cache stores
+// Artifacts keyed by a content hash of (program, data spec, targets).
+type Artifact struct {
+	// Events is the translated event program (§3.4).
+	Events *event.Program
+	// Net is the grounded event network compilation runs on.
+	Net *network.Net
+	// Translation exposes the final symbolic bindings.
+	Translation *translate.Result
+	// Ground is the hash-cons accounting of the network construction.
+	Ground network.BuilderStats
+	// PrepTimings holds the Lex/Parse/Translate/Ground stage durations of
+	// the original preparation; Compile and Total are zero.
+	PrepTimings Timings
+
+	// orders memoizes the Shannon-expansion variable order per heuristic,
+	// so cache hits re-enter compilation past the order stage too.
+	ordersMu sync.Mutex
+	orders   map[prob.OrderHeuristic][]event.VarID
+}
+
 // Run executes the full ENFrame pipeline. When spec.Compile.Obs is set,
 // every stage is traced as a span under the trace root and the hot layers
 // publish counters into the trace's metrics registry.
 func Run(spec Spec) (*Report, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext is Run with cooperative cancellation: the pipeline aborts
+// between stages and — during the long compilation stage — at branch
+// granularity when ctx is cancelled or its deadline passes.
+func RunContext(ctx context.Context, spec Spec) (*Report, error) {
+	art, err := PrepareContext(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	return art.CompileContext(ctx, spec.Compile)
+}
+
+// PrepareContext runs the pipeline up to and including grounding
+// (lex → parse → translate → ground) and returns the reusable Artifact.
+// spec.Compile is consulted only for its Obs trace; strategy, ε, workers,
+// and deadline belong to CompileContext.
+func PrepareContext(ctx context.Context, spec Spec) (*Artifact, error) {
 	tr := spec.Compile.Obs
 	root := tr.Root()
 	var tm Timings
-	tTotal := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 
 	tLex := time.Now()
 	lexSpan := root.Start("lex")
@@ -102,6 +152,9 @@ func Run(spec Spec) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: parse: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 
 	tTranslate := time.Now()
 	res, err := translate.Translate(prog, translate.External{
@@ -120,6 +173,9 @@ func Run(spec Spec) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 
 	tGround := time.Now()
 	groundSpan := root.Start("ground")
@@ -132,6 +188,10 @@ func Run(spec Spec) (*Report, error) {
 			return nil, fmt.Errorf("core: target %q is not a Boolean program variable", sym)
 		}
 		b.Target(sym, b.AddExpr(e))
+		if err := ctx.Err(); err != nil {
+			groundSpan.End()
+			return nil, fmt.Errorf("core: %w", err)
+		}
 	}
 	net := b.Build()
 	ground := b.Stats()
@@ -140,17 +200,49 @@ func Run(spec Spec) (*Report, error) {
 	groundSpan.SetFloat("hashcons_hit_rate", ground.HitRate())
 	groundSpan.End()
 	tm.Ground = time.Since(tGround)
+	tm.Total = tm.Lex + tm.Parse + tm.Translate + tm.Ground
 
+	return &Artifact{
+		Events: res.Program, Net: net, Translation: res,
+		Ground: ground, PrepTimings: tm,
+	}, nil
+}
+
+// Order returns the artifact's memoized variable order for the heuristic,
+// computing it on first use. Safe for concurrent callers.
+func (a *Artifact) Order(h prob.OrderHeuristic) []event.VarID {
+	a.ordersMu.Lock()
+	defer a.ordersMu.Unlock()
+	if a.orders == nil {
+		a.orders = map[prob.OrderHeuristic][]event.VarID{}
+	}
+	order, ok := a.orders[h]
+	if !ok {
+		order = prob.Order(a.Net, h)
+		a.orders[h] = order
+	}
+	return order
+}
+
+// CompileContext computes probabilities on the prepared network with fresh
+// compilation options. Repeated calls — concurrent ones included — share the
+// artifact; the variable order is memoized per heuristic unless opts.Order
+// overrides it.
+func (a *Artifact) CompileContext(ctx context.Context, opts prob.Options) (*Report, error) {
+	if opts.Order == nil {
+		opts.Order = a.Order(opts.Heuristic)
+	}
+	tm := a.PrepTimings
 	tCompile := time.Now()
-	pr, err := prob.Compile(net, spec.Compile)
+	pr, err := prob.CompileCtx(ctx, a.Net, opts)
 	tm.Compile = time.Since(tCompile)
-	tm.Total = time.Since(tTotal)
+	tm.Total = tm.Lex + tm.Parse + tm.Translate + tm.Ground + tm.Compile
 	if err != nil {
 		return nil, fmt.Errorf("core: compile: %w", err)
 	}
 	return &Report{
-		Result: pr, Events: res.Program, Net: net, Translation: res,
-		Ground: ground, Timings: tm,
+		Result: pr, Events: a.Events, Net: a.Net, Translation: a.Translation,
+		Ground: a.Ground, Timings: tm,
 	}, nil
 }
 
@@ -161,6 +253,14 @@ func expandTargets(res *translate.Result, patterns []string) ([]string, error) {
 	}
 	var out []string
 	for _, pat := range patterns {
+		// A bare name that is itself a Boolean scalar ("b0") is an exact
+		// target, not a prefix pattern.
+		if !strings.Contains(pat, "[") {
+			if _, ok := res.BoolEvent(pat); ok {
+				out = append(out, pat)
+				continue
+			}
+		}
 		if strings.HasSuffix(pat, "[") || !strings.Contains(pat, "[") {
 			prefix := strings.TrimSuffix(pat, "[") + "["
 			matches := res.SymbolsWithPrefix(prefix)

@@ -1,0 +1,101 @@
+package difftest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"enframe/internal/core"
+	"enframe/internal/prob"
+	"enframe/internal/server"
+)
+
+// TestServedRunMatchesDirectRun posts seeded generator programs (data kind
+// "gen") to a live server and asserts the marginals in the HTTP response
+// are byte-identical to a direct in-process core.Run over the very spec the
+// server derives from the same seed. This pins the serving layer — request
+// decoding, artifact caching, admission, response encoding — as a pure
+// transport around the pipeline: it must not perturb a single bit of the
+// computed probabilities.
+func TestServedRunMatchesDirectRun(t *testing.T) {
+	srv := server.New(server.Config{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	client := &http.Client{}
+
+	for _, seed := range []int64{1, 2, 3, 5, 8, 13} {
+		req := server.RunRequest{
+			Data:     server.DataSpec{Kind: "gen", Seed: seed},
+			Strategy: "exact",
+		}
+
+		// Direct path: the exact spec the server would build, compiled with
+		// the server's default options (sequential exact, fanout order).
+		spec, _, err := server.BuildSpec(req)
+		if err != nil {
+			t.Fatalf("seed %d: BuildSpec: %v", seed, err)
+		}
+		spec.Compile = prob.Options{Strategy: prob.Exact, Workers: 1, JobDepth: 3, Heuristic: prob.FanoutOrder}
+		direct, err := core.Run(spec)
+		if err != nil {
+			t.Fatalf("seed %d: direct run: %v", seed, err)
+		}
+		want := make([]server.RunTarget, 0, len(direct.Result.Targets))
+		for _, tb := range direct.Result.Targets {
+			want = append(want, server.RunTarget{
+				Name: tb.Name, Lower: tb.Lower, Upper: tb.Upper, Estimate: tb.Estimate(),
+			})
+		}
+		wantJSON, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Served path: run both the cold (miss) and warm (hit) requests so a
+		// cached artifact is held to the same bit-exactness.
+		for pass, wantCache := range []string{"miss", "hit"} {
+			body, err := json.Marshal(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := client.Post("http://"+srv.Addr()+"/v1/run", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatalf("seed %d: POST /v1/run: %v", seed, err)
+			}
+			var buf bytes.Buffer
+			_, readErr := buf.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if readErr != nil {
+				t.Fatal(readErr)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("seed %d: status %d: %s", seed, resp.StatusCode, buf.Bytes())
+			}
+			var fields struct {
+				Cache   string          `json:"cache"`
+				Targets json.RawMessage `json:"targets"`
+			}
+			if err := json.Unmarshal(buf.Bytes(), &fields); err != nil {
+				t.Fatalf("seed %d: response JSON: %v\n%s", seed, err, buf.Bytes())
+			}
+			if fields.Cache != wantCache {
+				t.Errorf("seed %d pass %d: cache = %q, want %q", seed, pass, fields.Cache, wantCache)
+			}
+			if got := bytes.TrimSpace(fields.Targets); !bytes.Equal(got, wantJSON) {
+				t.Errorf("seed %d (%s): served marginals differ from direct run:\nserved: %s\ndirect: %s",
+					seed, wantCache, got, wantJSON)
+			}
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package prob
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -18,6 +20,23 @@ var ErrNoTargets = errors.New("prob: network has no compilation targets")
 // approximation strategies guarantee Upper − Lower ≤ 2·Epsilon per target
 // unless the timeout fires first.
 func Compile(net *network.Net, opts Options) (*Result, error) {
+	return CompileCtx(context.Background(), net, opts)
+}
+
+// Order returns the Shannon-expansion variable order the given heuristic
+// produces for the network. Callers that compile the same network repeatedly
+// (e.g. the serving layer's artifact cache) can compute the order once and
+// replay it through Options.Order, skipping the per-compile order stage.
+func Order(net *network.Net, h OrderHeuristic) []event.VarID {
+	return computeOrder(net, Options{Heuristic: h})
+}
+
+// CompileCtx is Compile with cooperative cancellation: when ctx is cancelled
+// or its deadline passes, all workers stop at the next branch boundary and
+// CompileCtx returns ctx's error instead of a partial result. This is
+// distinct from Options.Timeout, which returns the partial bounds reached so
+// far with Result.TimedOut set.
+func CompileCtx(ctx context.Context, net *network.Net, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if len(net.Targets) == 0 {
 		return nil, ErrNoTargets
@@ -62,6 +81,21 @@ func Compile(net *network.Net, opts Options) (*Result, error) {
 	if opts.Timeout > 0 {
 		run.deadline = time.Now().Add(opts.Timeout)
 	}
+	// Cancellation watcher: dfs consults run.stop on every branch, so
+	// flipping it aborts all workers promptly. The watcher itself exits
+	// when compilation finishes, whichever comes first.
+	if ctx.Done() != nil {
+		finished := make(chan struct{})
+		defer close(finished)
+		go func() {
+			select {
+			case <-ctx.Done():
+				run.canceled.Store(true)
+				run.stop.Store(true)
+			case <-finished:
+			}
+		}()
+	}
 	start := time.Now()
 	var stats Stats
 	switch {
@@ -91,6 +125,11 @@ func Compile(net *network.Net, opts Options) (*Result, error) {
 		reg.Counter("prob.budget_prunes").Add(stats.BudgetPrunes)
 		reg.Counter("prob.jobs").Add(stats.Jobs)
 		reg.Gauge("prob.tree.max_depth").SetMax(float64(stats.MaxDepth))
+	}
+	if run.canceled.Load() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("prob: compile: %w", err)
+		}
 	}
 	lo, hi := run.bounds.snapshot()
 	res := &Result{Stats: stats, TimedOut: run.timedOut.Load()}
@@ -127,7 +166,8 @@ type runner struct {
 	deadline time.Time
 	stop     atomic.Bool // set on timeout or external abort
 	timedOut atomic.Bool
-	pristine *state // shared post-init snapshot for distributed jobs
+	canceled atomic.Bool // set when the compile context was cancelled
+	pristine *state      // shared post-init snapshot for distributed jobs
 }
 
 func (r *runner) runSequential() Stats {

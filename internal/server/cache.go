@@ -1,0 +1,119 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"enframe/internal/core"
+	"enframe/internal/obs"
+)
+
+// artifactCache is a bounded LRU of compiled pipeline prefixes
+// (core.Artifact: translated event program + grounded, hash-consed event
+// network) keyed by the content hash of (program, data spec, targets).
+// Artifacts are immutable, so one entry serves any number of concurrent
+// compilations. Concurrent misses on the same key are coalesced: one caller
+// prepares, the rest wait and share the result (and count as hits).
+type artifactCache struct {
+	mu       sync.Mutex
+	max      int
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // key → element whose Value is *cacheEntry
+	inflight map[string]*prepareCall
+
+	hits, misses, coalesced, evictions *obs.Counter
+	size                               *obs.Gauge
+}
+
+type cacheEntry struct {
+	key string
+	art *core.Artifact
+}
+
+// prepareCall tracks one in-flight preparation that later same-key arrivals
+// wait on.
+type prepareCall struct {
+	done chan struct{}
+	art  *core.Artifact
+	err  error
+}
+
+func newArtifactCache(max int, reg *obs.Registry) *artifactCache {
+	if max < 1 {
+		max = 1
+	}
+	return &artifactCache{
+		max:       max,
+		ll:        list.New(),
+		items:     map[string]*list.Element{},
+		inflight:  map[string]*prepareCall{},
+		hits:      reg.Counter("server.cache.hits"),
+		misses:    reg.Counter("server.cache.misses"),
+		coalesced: reg.Counter("server.cache.coalesced"),
+		evictions: reg.Counter("server.cache.evictions"),
+		size:      reg.Gauge("server.cache.size"),
+	}
+}
+
+// getOrPrepare returns the artifact for key, preparing it with prepare() on
+// a miss. The hit return reports whether the artifact was reused (true for
+// LRU hits and for waits coalesced onto another caller's preparation).
+// Failed preparations are not cached; every waiter receives the same error.
+func (c *artifactCache) getOrPrepare(key string, prepare func() (*core.Artifact, error)) (art *core.Artifact, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		c.hits.Inc()
+		return el.Value.(*cacheEntry).art, true, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return nil, false, call.err
+		}
+		c.hits.Inc()
+		c.coalesced.Inc()
+		return call.art, true, nil
+	}
+	call := &prepareCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+	c.misses.Inc()
+
+	call.art, call.err = prepare()
+	close(call.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if call.err == nil {
+		c.add(key, call.art)
+	}
+	c.mu.Unlock()
+	return call.art, false, call.err
+}
+
+// add inserts under c.mu, evicting from the LRU tail past capacity.
+func (c *artifactCache) add(key string, art *core.Artifact) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).art = art
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, art: art})
+	for c.ll.Len() > c.max {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+	c.size.Set(float64(c.ll.Len()))
+}
+
+// len returns the number of cached artifacts.
+func (c *artifactCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,352 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"enframe/internal/core"
+	"enframe/internal/data"
+	"enframe/internal/gen"
+	"enframe/internal/lang"
+	"enframe/internal/lineage"
+	"enframe/internal/prob"
+)
+
+// RunRequest is the body of POST /v1/run. Program source, data-generation
+// spec, and targets identify the compiled artifact (they form the cache
+// key); strategy, ε, workers, and deadlines are per-request compilation
+// parameters that reuse a cached artifact unchanged. See SERVING.md.
+type RunRequest struct {
+	// Program names a builtin ("kmedoids", "kmeans", "mcl"); Source carries
+	// inline program text and takes precedence. The server never reads
+	// files.
+	Program string `json:"program,omitempty"`
+	Source  string `json:"source,omitempty"`
+	// Data configures the probabilistic input generator.
+	Data DataSpec `json:"data"`
+	// Params backs loadParams(): K/Iter for the clustering programs, R/Iter
+	// for Markov clustering.
+	Params ParamSpec `json:"params"`
+	// Targets are symbol patterns as in the CLI -targets flag; default
+	// "Centre[".
+	Targets []string `json:"targets,omitempty"`
+	// Strategy is exact (default), eager, lazy, or hybrid; Epsilon is the
+	// absolute error budget for the approximation strategies.
+	Strategy string  `json:"strategy,omitempty"`
+	Epsilon  float64 `json:"epsilon,omitempty"`
+	// Workers > 1 compiles with the distributed runner; JobDepth is the
+	// fragment depth d.
+	Workers  int `json:"workers,omitempty"`
+	JobDepth int `json:"job_depth,omitempty"`
+	// Order selects the variable-order heuristic: "fanout" (default) or
+	// "input".
+	Order string `json:"order,omitempty"`
+	// TimeoutMs is the hard per-request deadline: exceeding it aborts the
+	// pipeline and answers 504. Zero means the server default; values are
+	// clamped to the server maximum.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// SoftTimeoutMs, when positive, bounds compilation via prob's anytime
+	// timer instead: the request succeeds with the partial bounds reached
+	// so far and "timed_out": true.
+	SoftTimeoutMs int `json:"soft_timeout_ms,omitempty"`
+}
+
+// DataSpec mirrors the CLI data-generation flags. Kind "sensor" (default)
+// is the synthetic energy-network feed with a correlation scheme attached;
+// kind "gen" replays the differential harness's seeded generator
+// (internal/gen), deriving program, data, and targets from Seed alone.
+type DataSpec struct {
+	Kind    string  `json:"kind,omitempty"` // "sensor" (default) or "gen"
+	N       int     `json:"n,omitempty"`
+	Scheme  string  `json:"scheme,omitempty"`
+	Vars    int     `json:"vars,omitempty"`
+	L       int     `json:"l,omitempty"`
+	M       int     `json:"m,omitempty"`
+	Certain float64 `json:"certain,omitempty"`
+	Group   int     `json:"group,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+}
+
+// ParamSpec backs loadParams() and init().
+type ParamSpec struct {
+	K    int `json:"k,omitempty"`
+	Iter int `json:"iter,omitempty"`
+	R    int `json:"r,omitempty"`
+}
+
+// withDefaults mirrors the CLI flag defaults.
+func (r RunRequest) withDefaults() RunRequest {
+	if r.Program == "" && r.Source == "" {
+		r.Program = "kmedoids"
+	}
+	if r.Data.Kind == "" {
+		r.Data.Kind = "sensor"
+	}
+	if r.Data.N == 0 {
+		r.Data.N = 12
+	}
+	if r.Data.Scheme == "" {
+		r.Data.Scheme = "positive"
+	}
+	if r.Data.Vars == 0 {
+		r.Data.Vars = 10
+	}
+	if r.Data.L == 0 {
+		r.Data.L = 8
+	}
+	if r.Data.M == 0 {
+		r.Data.M = 12
+	}
+	if r.Data.Group == 0 {
+		r.Data.Group = 4
+	}
+	if r.Data.Seed == 0 {
+		r.Data.Seed = 1
+	}
+	if r.Params.K == 0 {
+		r.Params.K = 2
+	}
+	if r.Params.Iter == 0 {
+		r.Params.Iter = 3
+	}
+	if r.Params.R == 0 {
+		r.Params.R = 2
+	}
+	if len(r.Targets) == 0 {
+		r.Targets = []string{"Centre["}
+	}
+	if r.Strategy == "" {
+		r.Strategy = "exact"
+	}
+	if r.Strategy != "exact" && r.Epsilon == 0 {
+		r.Epsilon = 0.1
+	}
+	if r.Workers == 0 {
+		r.Workers = 1
+	}
+	if r.JobDepth == 0 {
+		r.JobDepth = 3
+	}
+	if r.Order == "" {
+		r.Order = "fanout"
+	}
+	return r
+}
+
+// maxWorkersPerRequest caps the goroutine fan-out a single request may ask
+// for; overall compile concurrency is bounded separately by admission
+// control.
+const maxWorkersPerRequest = 16
+
+// badRequestError marks request-validation failures that map to HTTP 400.
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// BuildSpec validates the request (after defaulting) and produces the
+// core.Spec it denotes — everything but the compile options — together with
+// the artifact cache key: a content hash over the resolved program source,
+// the data-generation spec, and the targets. Two requests with equal keys
+// ground byte-identical event networks.
+func BuildSpec(req RunRequest) (core.Spec, string, error) {
+	req = req.withDefaults()
+	strategy, err := parseStrategy(req.Strategy)
+	if err != nil {
+		return core.Spec{}, "", err
+	}
+	if strategy != prob.Exact && req.Epsilon <= 0 {
+		return core.Spec{}, "", badRequest("epsilon must be > 0 with strategy %q", req.Strategy)
+	}
+	if req.Workers < 1 || req.Workers > maxWorkersPerRequest {
+		return core.Spec{}, "", badRequest("workers must be in [1, %d] (got %d)", maxWorkersPerRequest, req.Workers)
+	}
+	if req.JobDepth < 1 {
+		return core.Spec{}, "", badRequest("job_depth must be ≥ 1 (got %d)", req.JobDepth)
+	}
+	if _, err := parseOrder(req.Order); err != nil {
+		return core.Spec{}, "", err
+	}
+	if req.TimeoutMs < 0 || req.SoftTimeoutMs < 0 {
+		return core.Spec{}, "", badRequest("timeouts must be ≥ 0")
+	}
+
+	switch req.Data.Kind {
+	case "gen":
+		return buildGenSpec(req)
+	case "sensor":
+		return buildSensorSpec(req)
+	default:
+		return core.Spec{}, "", badRequest("unknown data kind %q (want sensor or gen)", req.Data.Kind)
+	}
+}
+
+// buildSensorSpec assembles the synthetic energy-network workload, the
+// served twin of the CLI's default path.
+func buildSensorSpec(req RunRequest) (core.Spec, string, error) {
+	if req.Data.N < 1 {
+		return core.Spec{}, "", badRequest("data.n must be ≥ 1 (got %d)", req.Data.N)
+	}
+	if req.Data.N > 64 {
+		return core.Spec{}, "", badRequest("data.n must be ≤ 64 (got %d)", req.Data.N)
+	}
+	if req.Params.K < 1 || req.Params.Iter < 1 || req.Params.R < 1 {
+		return core.Spec{}, "", badRequest("params must be ≥ 1")
+	}
+	source, isMCL, err := resolveProgram(req)
+	if err != nil {
+		return core.Spec{}, "", err
+	}
+	scheme, err := parseScheme(req.Data.Scheme)
+	if err != nil {
+		return core.Spec{}, "", err
+	}
+	pts := data.Points(req.Data.N, req.Data.Seed)
+	objs, space, err := lineage.Attach(pts, lineage.Config{
+		Scheme:          scheme,
+		GroupSize:       req.Data.Group,
+		NumVars:         req.Data.Vars,
+		L:               req.Data.L,
+		M:               req.Data.M,
+		CertainFraction: req.Data.Certain,
+		Seed:            req.Data.Seed,
+	})
+	if err != nil {
+		return core.Spec{}, "", badRequest("data: %v", err)
+	}
+	spec := core.Spec{
+		Source:  source,
+		Objects: objs,
+		Space:   space,
+		Targets: req.Targets,
+	}
+	if isMCL {
+		spec.Params = []int{req.Params.R, req.Params.Iter}
+		spec.Matrix = similarityMatrix(objs)
+	} else {
+		spec.Params = []int{req.Params.K, req.Params.Iter}
+		init := make([]int, req.Params.K)
+		for i := range init {
+			init[i] = i
+		}
+		spec.InitIndices = init
+	}
+
+	h := sha256.New()
+	fmt.Fprintf(h, "v1\x00source\x00%s\x00", source)
+	fmt.Fprintf(h, "data\x00sensor;n=%d;scheme=%s;vars=%d;l=%d;m=%d;certain=%g;group=%d;seed=%d\x00",
+		req.Data.N, req.Data.Scheme, req.Data.Vars, req.Data.L, req.Data.M,
+		req.Data.Certain, req.Data.Group, req.Data.Seed)
+	fmt.Fprintf(h, "params\x00k=%d;iter=%d;r=%d;mcl=%t\x00", req.Params.K, req.Params.Iter, req.Params.R, isMCL)
+	fmt.Fprintf(h, "targets\x00%s", strings.Join(req.Targets, "\x01"))
+	return spec, hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// buildGenSpec replays the differential harness's seeded generator: program
+// text, input data, and Boolean targets all derive from data.seed, making a
+// served run directly comparable to the in-process pipeline on the same
+// seed (internal/difftest exploits this).
+func buildGenSpec(req RunRequest) (core.Spec, string, error) {
+	p := gen.New(req.Data.Seed)
+	var targets []string
+	for _, s := range p.Syms() {
+		if s.IsBool {
+			targets = append(targets, s.Name)
+		}
+	}
+	if len(targets) == 0 {
+		return core.Spec{}, "", badRequest("gen seed %d has no Boolean targets", req.Data.Seed)
+	}
+	spec := core.Spec{
+		Source:      p.Source(),
+		Objects:     p.Input.Objects,
+		Space:       p.Input.Space,
+		Params:      p.Input.Params,
+		InitIndices: p.Input.InitIndices,
+		Metric:      p.Input.Metric,
+		Targets:     targets,
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "v1\x00gen\x00seed=%d", req.Data.Seed)
+	return spec, hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// resolveProgram maps the request to program text. Unlike the CLI, inline
+// source is the only non-builtin path — a server must not read local files
+// on client demand.
+func resolveProgram(req RunRequest) (source string, isMCL bool, err error) {
+	if req.Source != "" {
+		return req.Source, strings.Contains(req.Source, "(O, n, M)"), nil
+	}
+	switch req.Program {
+	case "kmedoids":
+		return lang.KMedoidsSource, false, nil
+	case "kmeans":
+		return lang.KMeansSource, false, nil
+	case "mcl":
+		return lang.MCLSource, true, nil
+	}
+	return "", false, badRequest("unknown builtin program %q (want kmedoids, kmeans, or mcl; send inline text via source)", req.Program)
+}
+
+func parseScheme(s string) (lineage.Scheme, error) {
+	switch s {
+	case "independent":
+		return lineage.Independent, nil
+	case "positive":
+		return lineage.Positive, nil
+	case "mutex":
+		return lineage.Mutex, nil
+	case "conditional":
+		return lineage.Conditional, nil
+	}
+	return 0, badRequest("unknown correlation scheme %q", s)
+}
+
+func parseStrategy(s string) (prob.Strategy, error) {
+	switch s {
+	case "exact":
+		return prob.Exact, nil
+	case "eager":
+		return prob.Eager, nil
+	case "lazy":
+		return prob.Lazy, nil
+	case "hybrid":
+		return prob.Hybrid, nil
+	}
+	return 0, badRequest("unknown strategy %q (want exact, eager, lazy, or hybrid)", s)
+}
+
+func parseOrder(s string) (prob.OrderHeuristic, error) {
+	switch s {
+	case "fanout":
+		return prob.FanoutOrder, nil
+	case "input":
+		return prob.InputOrder, nil
+	}
+	return 0, badRequest("unknown order heuristic %q (want fanout or input)", s)
+}
+
+// similarityMatrix derives MCL edge weights from pairwise distances, as the
+// CLI does.
+func similarityMatrix(objs []lineage.Object) [][]float64 {
+	n := len(objs)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			if i == j {
+				m[i][j] = 1
+				continue
+			}
+			d := objs[i].Pos.Sub(objs[j].Pos).Norm()
+			m[i][j] = 1 / (1 + d)
+		}
+	}
+	return m
+}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"time"
+
+	"enframe/internal/core"
+)
+
+// RunResponse is the body of a successful POST /v1/run.
+type RunResponse struct {
+	// Cache is "hit" when the compiled artifact was reused, "miss" when
+	// this request paid for lex/parse/translate/ground.
+	Cache    string  `json:"cache"`
+	Strategy string  `json:"strategy"`
+	Epsilon  float64 `json:"epsilon,omitempty"`
+	Workers  int     `json:"workers"`
+	// TimedOut reports the soft (anytime) timeout: bounds are partial.
+	TimedOut     bool        `json:"timed_out,omitempty"`
+	Variables    int         `json:"variables"`
+	NetworkNodes int         `json:"network_nodes"`
+	Targets      []RunTarget `json:"targets"`
+	Stats        RunStats    `json:"stats"`
+	TimingsMs    RunTimings  `json:"timings_ms"`
+}
+
+// RunTarget is one compilation target's probability interval.
+type RunTarget struct {
+	Name     string  `json:"name"`
+	Lower    float64 `json:"lower"`
+	Upper    float64 `json:"upper"`
+	Estimate float64 `json:"estimate"`
+}
+
+// RunStats carries the compilation work counters.
+type RunStats struct {
+	Branches     int64 `json:"branches"`
+	Assignments  int64 `json:"assignments"`
+	MaskUpdates  int64 `json:"mask_updates"`
+	BudgetPrunes int64 `json:"budget_prunes,omitempty"`
+	MaxDepth     int64 `json:"max_depth"`
+	Jobs         int64 `json:"jobs"`
+}
+
+// RunTimings is the per-stage wall-clock breakdown in milliseconds. On a
+// cache hit the preparation stages report the original preparation's cost
+// (the request itself skipped them).
+type RunTimings struct {
+	Lex       float64 `json:"lex"`
+	Parse     float64 `json:"parse"`
+	Translate float64 `json:"translate"`
+	Ground    float64 `json:"ground"`
+	Compile   float64 `json:"compile"`
+	Total     float64 `json:"total"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func buildResponse(req RunRequest, rep *core.Report, hit bool) RunResponse {
+	out := RunResponse{
+		Cache:        "miss",
+		Strategy:     req.Strategy,
+		Epsilon:      req.Epsilon,
+		Workers:      req.Workers,
+		TimedOut:     rep.Result.TimedOut,
+		Variables:    rep.Net.Space.Len(),
+		NetworkNodes: rep.Net.NumNodes(),
+		Stats: RunStats{
+			Branches:     rep.Result.Stats.Branches,
+			Assignments:  rep.Result.Stats.Assignments,
+			MaskUpdates:  rep.Result.Stats.MaskUpdates,
+			BudgetPrunes: rep.Result.Stats.BudgetPrunes,
+			MaxDepth:     rep.Result.Stats.MaxDepth,
+			Jobs:         rep.Result.Stats.Jobs,
+		},
+		TimingsMs: RunTimings{
+			Lex:       ms(rep.Timings.Lex),
+			Parse:     ms(rep.Timings.Parse),
+			Translate: ms(rep.Timings.Translate),
+			Ground:    ms(rep.Timings.Ground),
+			Compile:   ms(rep.Timings.Compile),
+			Total:     ms(rep.Timings.Total),
+		},
+	}
+	if hit {
+		out.Cache = "hit"
+	}
+	if req.Strategy == "exact" {
+		out.Epsilon = 0
+	}
+	for _, tb := range rep.Result.Targets {
+		out.Targets = append(out.Targets, RunTarget{
+			Name: tb.Name, Lower: tb.Lower, Upper: tb.Upper, Estimate: tb.Estimate(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,414 @@
+// Package server is ENFrame's long-lived serving layer: an HTTP JSON API
+// that runs the core pipeline (lex → parse → translate → ground → compile)
+// concurrently, with a bounded LRU cache of compiled artifacts so repeated
+// (program, data, targets) requests skip straight to probability
+// compilation with fresh strategy/ε/deadline, admission control (bounded
+// worker pool plus bounded accept queue with fast 429/503 rejection),
+// per-request deadlines that cancel in-flight compilation, and graceful
+// drain. Endpoints: POST /v1/run, GET /healthz, GET /metrics, and optional
+// /debug/pprof. Everything is standard library; see SERVING.md.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"enframe/internal/core"
+	"enframe/internal/obs"
+	"enframe/internal/prob"
+)
+
+// Config sizes the server. Zero values take the documented defaults.
+type Config struct {
+	// Addr is the listen address; ":0" and "127.0.0.1:0" pick an ephemeral
+	// port (read it back with Addr after Start).
+	Addr string
+	// MaxInflight bounds concurrently executing pipeline runs (the worker
+	// pool). Default 4×GOMAXPROCS.
+	MaxInflight int
+	// QueueDepth bounds requests admitted but waiting for a worker slot;
+	// beyond MaxInflight+QueueDepth, requests are rejected immediately
+	// with 429. Default 4×MaxInflight.
+	QueueDepth int
+	// CacheEntries bounds the compiled-artifact LRU. Default 64.
+	CacheEntries int
+	// DefaultTimeout applies when a request carries no timeout_ms;
+	// MaxTimeout clamps what a request may ask for. Defaults 30s and 2m.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxBodyBytes bounds the request body. Default 1 MiB.
+	MaxBodyBytes int64
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+	// Registry receives the server metrics; a fresh one is created when
+	// nil. GET /metrics renders it.
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxInflight
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// statusClientClosedRequest is nginx's conventional status for a client
+// that disconnected before the response was ready.
+const statusClientClosedRequest = 499
+
+// Server is one serving instance. Create with New, bind with Start, stop
+// with Shutdown.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	cache *artifactCache
+
+	// workSlots bounds executing runs; queueSlots additionally bounds
+	// admitted-but-waiting runs. Both are semaphores.
+	workSlots  chan struct{}
+	queueSlots chan struct{}
+
+	httpSrv  *http.Server
+	listener net.Listener
+	draining atomic.Bool
+	inflight atomic.Int64
+	serveErr chan error
+
+	mRequests     *obs.Counter
+	mOK           *obs.Counter
+	mBadRequest   *obs.Counter
+	mErrors       *obs.Counter
+	mRejQueue     *obs.Counter // 429: queue full
+	mRejDraining  *obs.Counter // 503: draining
+	mDeadline     *obs.Counter // 504: per-request deadline exceeded
+	mCanceled     *obs.Counter // 499: client disconnected
+	gInflight     *obs.Gauge
+	gInflightPeak *obs.Gauge
+	hLatency      *obs.Histogram
+}
+
+// latencyBucketsMs are the /metrics latency histogram upper bounds.
+var latencyBucketsMs = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// testHookInflight, when set by tests, runs while the request holds a
+// worker slot, before the pipeline starts.
+var testHookInflight func()
+
+// New builds a server; it does not listen yet.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:        cfg,
+		reg:        cfg.Registry,
+		cache:      newArtifactCache(cfg.CacheEntries, cfg.Registry),
+		workSlots:  make(chan struct{}, cfg.MaxInflight),
+		queueSlots: make(chan struct{}, cfg.MaxInflight+cfg.QueueDepth),
+		serveErr:   make(chan error, 1),
+
+		mRequests:     cfg.Registry.Counter("server.requests"),
+		mOK:           cfg.Registry.Counter("server.responses.ok"),
+		mBadRequest:   cfg.Registry.Counter("server.responses.bad_request"),
+		mErrors:       cfg.Registry.Counter("server.responses.error"),
+		mRejQueue:     cfg.Registry.Counter("server.rejected.queue_full"),
+		mRejDraining:  cfg.Registry.Counter("server.rejected.draining"),
+		mDeadline:     cfg.Registry.Counter("server.deadline_exceeded"),
+		mCanceled:     cfg.Registry.Counter("server.client_canceled"),
+		gInflight:     cfg.Registry.Gauge("server.inflight"),
+		gInflightPeak: cfg.Registry.Gauge("server.inflight.peak"),
+		hLatency:      cfg.Registry.Histogram("server.latency_ms", latencyBucketsMs),
+	}
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the server's route mux (also usable without a listener,
+// e.g. under httptest).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Start binds the configured address and serves in the background. The
+// listener is bound when Start returns, so Addr is immediately valid.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.listener = ln
+	go func() {
+		err := s.httpSrv.Serve(ln)
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.serveErr <- err
+		}
+		close(s.serveErr)
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (empty before Start).
+func (s *Server) Addr() string {
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains gracefully: new work is rejected with 503, the listener
+// closes, and in-flight requests run to completion (or until ctx expires,
+// at which point remaining connections are cut).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.httpSrv.Shutdown(ctx)
+	if serr, ok := <-s.serveErr; ok && err == nil {
+		err = serr
+	}
+	return err
+}
+
+// Registry exposes the metrics registry (for embedding servers, e.g. the
+// load generator's in-process mode).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// metricJSON mirrors obs.MetricValue with a JSON-encodable overflow
+// bucket: encoding/json rejects +Inf, so Le is a float64 or the string
+// "+Inf".
+type metricJSON struct {
+	Name    string       `json:"name"`
+	Kind    string       `json:"kind"`
+	Value   float64      `json:"value"`
+	Sum     float64      `json:"sum,omitempty"`
+	Buckets []bucketJSON `json:"buckets,omitempty"`
+}
+
+type bucketJSON struct {
+	Le    any   `json:"le"`
+	Count int64 `json:"count"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		vals := s.reg.Values()
+		out := make([]metricJSON, 0, len(vals))
+		for _, v := range vals {
+			m := metricJSON{Name: v.Name, Kind: v.Kind, Value: v.Value, Sum: v.Sum}
+			for _, b := range v.Buckets {
+				var le any = b.Le
+				if math.IsInf(b.Le, 1) {
+					le = "+Inf"
+				}
+				m.Buckets = append(m.Buckets, bucketJSON{Le: le, Count: b.Count})
+			}
+			out = append(out, m)
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.reg.String())
+}
+
+// handleRun is POST /v1/run: admission → decode → cache-aware pipeline →
+// JSON result. See SERVING.md for the exact status-code contract.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.mRequests.Inc()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.draining.Load() {
+		s.mRejDraining.Inc()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	// Fast rejection: no free queue slot means the backlog is already
+	// MaxInflight+QueueDepth deep — shed immediately instead of stacking
+	// goroutines.
+	select {
+	case s.queueSlots <- struct{}{}:
+		defer func() { <-s.queueSlots }()
+	default:
+		s.mRejQueue.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue full (%d executing + %d waiting)",
+			s.cfg.MaxInflight, s.cfg.QueueDepth)
+		return
+	}
+
+	var req RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.mBadRequest.Inc()
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	req = req.withDefaults()
+	spec, key, err := BuildSpec(req)
+	if err != nil {
+		s.mBadRequest.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Per-request hard deadline, clamped to the server maximum. It covers
+	// queueing and the whole pipeline, and is joined with the client's
+	// disconnect signal via the request context.
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Admission: wait for a worker slot under the deadline.
+	select {
+	case s.workSlots <- struct{}{}:
+		defer func() { <-s.workSlots }()
+	case <-ctx.Done():
+		s.finishCtxErr(w, r, ctx)
+		return
+	}
+	cur := s.inflight.Add(1)
+	s.gInflight.Set(float64(cur))
+	s.gInflightPeak.SetMax(float64(cur))
+	defer func() { s.gInflight.Set(float64(s.inflight.Add(-1))) }()
+	if testHookInflight != nil {
+		testHookInflight()
+	}
+
+	t0 := time.Now()
+	rep, hit, err := s.execute(ctx, spec, key, req)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.finishCtxErr(w, r, ctx)
+			return
+		}
+		s.mErrors.Inc()
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.hLatency.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+	s.mOK.Inc()
+	writeJSON(w, http.StatusOK, buildResponse(req, rep, hit))
+}
+
+// execute resolves the artifact through the cache and compiles it with the
+// request's options. A coalesced preparation that failed only because the
+// leading request's context expired is retried once under our own context.
+func (s *Server) execute(ctx context.Context, spec core.Spec, key string, req RunRequest) (*core.Report, bool, error) {
+	prepare := func() (*core.Artifact, error) { return core.PrepareContext(ctx, spec) }
+	art, hit, err := s.cache.getOrPrepare(key, prepare)
+	if err != nil && isCtxError(err) && ctx.Err() == nil {
+		art, hit, err = s.cache.getOrPrepare(key, prepare)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+
+	strategy, _ := parseStrategy(req.Strategy) // validated by BuildSpec
+	heuristic, _ := parseOrder(req.Order)
+	opts := prob.Options{
+		Strategy:  strategy,
+		Epsilon:   req.Epsilon,
+		Workers:   req.Workers,
+		JobDepth:  req.JobDepth,
+		Heuristic: heuristic,
+		Timeout:   time.Duration(req.SoftTimeoutMs) * time.Millisecond,
+	}
+	rep, err := art.CompileContext(ctx, opts)
+	if err != nil {
+		return nil, hit, err
+	}
+	return rep, hit, nil
+}
+
+// finishCtxErr maps a context failure to the response contract: 504 for a
+// deadline, 499 for a client that went away.
+func (s *Server) finishCtxErr(w http.ResponseWriter, r *http.Request, ctx context.Context) {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		s.mDeadline.Inc()
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
+		return
+	}
+	// The client disconnected; the write is best-effort.
+	s.mCanceled.Inc()
+	w.WriteHeader(statusClientClosedRequest)
+}
+
+func isCtxError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
