@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test test-short test-race vet fuzz-smoke fuzz bench bench-serve obs-race smoke serve-smoke ci
+.PHONY: build test test-short test-race vet fuzz-smoke fuzz bench bench-serve bench-compare alloc-guard obs-race smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,16 @@ fuzz:
 bench:
 	$(GO) run ./cmd/bench -out BENCH_pipeline.json
 
+# bench-compare re-measures the fused front end (translate+ground) and fails
+# if ns/op regressed more than 20% against the committed snapshot.
+bench-compare:
+	$(GO) run ./cmd/bench -compare BENCH_pipeline.json
+
+# alloc-guard pins the obs-disabled fused front end to its post-fusion
+# allocation budget (see allocguard_test.go).
+alloc-guard:
+	$(GO) test -run '^TestFrontEndAllocGuard$$' -count=1 -v .
+
 # bench-serve loads the serving layer (in-process, ephemeral port) and
 # refreshes BENCH_serve.json: throughput, p50/p95/p99 latency, and the
 # compiled-artifact cache hit rate.
@@ -62,4 +72,4 @@ smoke: build
 serve-smoke: build
 	$(GO) run ./cmd/loadgen -smoke
 
-ci: vet build test test-race obs-race smoke serve-smoke
+ci: vet build test test-race obs-race alloc-guard smoke serve-smoke

@@ -1,0 +1,35 @@
+package enframe
+
+import (
+	"context"
+	"testing"
+
+	"enframe/internal/core"
+)
+
+// frontEndAllocBudget is the ceiling on allocations per obs-disabled fused
+// front-end run (lex → parse → fused translate+ground) at the kmedoids n=24
+// benchmark scale. Measured ~32.5k after the streaming-builder fusion (the
+// legacy two-phase path sat at ~1.51M); the headroom absorbs map growth
+// nondeterminism, not regressions — a return to AST materialisation or
+// per-node key allocation blows through it immediately.
+const frontEndAllocBudget = 45000
+
+// TestFrontEndAllocGuard holds the fused front end to its post-fusion
+// allocation profile. Run as part of `make ci` (via `make alloc-guard`).
+func TestFrontEndAllocGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc guard is a perf gate, skipped in -short")
+	}
+	spec := coreSpec(t, false)
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := core.PrepareContext(context.Background(), spec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("fused front end: %.0f allocs/op (budget %d)", allocs, frontEndAllocBudget)
+	if allocs > frontEndAllocBudget {
+		t.Errorf("fused front end allocates %.0f/op, over the %d budget — the streaming builder hot path regressed",
+			allocs, frontEndAllocBudget)
+	}
+}

@@ -8,6 +8,7 @@ package enframe
 // minutes.
 
 import (
+	"context"
 	"testing"
 
 	"enframe/internal/cluster"
@@ -301,11 +302,11 @@ func BenchmarkDeterministicKMedoids(b *testing.B) {
 // --- Observability overhead ------------------------------------------------
 
 // coreSpec builds the full-pipeline benchmark spec (source → probabilities).
-func coreSpec(b *testing.B, withObs bool) core.Spec {
-	b.Helper()
+func coreSpec(tb testing.TB, withObs bool) core.Spec {
+	tb.Helper()
 	objs, space, err := lineage.Attach(data.Points(24, 1), positiveCfg(10))
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	spec := core.Spec{
 		Source:      lang.KMedoidsSource,
@@ -344,6 +345,36 @@ func BenchmarkPipelineEndToEndTraced(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Front-end paths --------------------------------------------------------
+
+// BenchmarkFrontEndFused measures preparation (lex → parse → fused
+// translate+ground) on the default streaming builder path.
+func BenchmarkFrontEndFused(b *testing.B) {
+	spec := coreSpec(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PrepareContext(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrontEndLegacy measures the same preparation through the legacy
+// two-phase path (event-program AST, then grounding); the ratio against
+// BenchmarkFrontEndFused is the fusion win.
+func BenchmarkFrontEndLegacy(b *testing.B) {
+	spec := coreSpec(b, false)
+	spec.LegacyFrontEnd = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PrepareContext(context.Background(), spec); err != nil {
 			b.Fatal(err)
 		}
 	}

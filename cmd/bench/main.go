@@ -4,6 +4,14 @@
 // max depth, mask updates). Run it via `make bench`; successive snapshots
 // committed over time give the perf trajectory every later optimisation PR
 // reports against.
+//
+// The front end is measured both ways: pipeline/translate + pipeline/ground
+// are the legacy two-phase stages (event-program AST, then grounding), and
+// pipeline/frontend-fused is the default streaming path that interns events
+// into the network during translation. -compare FILE re-measures the fused
+// front end and fails (exit 1) if it regressed more than 20% against the
+// committed snapshot; old snapshots without a fused entry fall back to the
+// translate+ground sum.
 package main
 
 import (
@@ -24,10 +32,15 @@ import (
 )
 
 var (
-	outFlag  = flag.String("out", "BENCH_pipeline.json", "output file")
-	nFlag    = flag.Int("n", 24, "data points of the benchmark task")
-	varsFlag = flag.Int("vars", 10, "variable pool of the positive scheme")
+	outFlag     = flag.String("out", "BENCH_pipeline.json", "output file")
+	nFlag       = flag.Int("n", 24, "data points of the benchmark task")
+	varsFlag    = flag.Int("vars", 10, "variable pool of the positive scheme")
+	compareFlag = flag.String("compare", "", "snapshot to compare the fused front end against (no snapshot is written)")
 )
+
+// regressionLimit is the tolerated fused-front-end slowdown in -compare
+// mode: fail when new ns/op > old ns/op × 1.2.
+const regressionLimit = 1.2
 
 type benchResult struct {
 	Name        string  `json:"name"`
@@ -41,6 +54,9 @@ type snapshot struct {
 	Config     map[string]any     `json:"config"`
 	Benchmarks []benchResult      `json:"benchmarks"`
 	Counters   map[string]float64 `json:"counters"`
+	// Previous carries the headline front-end numbers of the snapshot this
+	// one overwrote, so before/after is readable from the file itself.
+	Previous map[string]float64 `json:"previous,omitempty"`
 }
 
 func run(name string, f func(b *testing.B)) benchResult {
@@ -56,14 +72,40 @@ func run(name string, f func(b *testing.B)) benchResult {
 	}
 }
 
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}
+
+// frontendBaseline extracts the reference fused-front-end cost from a
+// committed snapshot: the frontend-fused entry when present, otherwise the
+// legacy translate+ground sum (pre-fusion snapshots).
+func frontendBaseline(snap *snapshot) (float64, string, bool) {
+	var translateNs, groundNs float64
+	var haveT, haveG bool
+	for _, b := range snap.Benchmarks {
+		switch b.Name {
+		case "pipeline/frontend-fused":
+			return b.NsPerOp, b.Name, true
+		case "pipeline/translate":
+			translateNs, haveT = b.NsPerOp, true
+		case "pipeline/ground":
+			groundNs, haveG = b.NsPerOp, true
+		}
+	}
+	if haveT && haveG {
+		return translateNs + groundNs, "pipeline/translate + pipeline/ground", true
+	}
+	return 0, "", false
+}
+
 func main() {
 	flag.Parse()
 
 	cfg := lineage.Config{Scheme: lineage.Positive, NumVars: *varsFlag, L: 8, Seed: 1}
 	objs, space, err := lineage.Attach(data.Points(*nFlag, 1), cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	spec := core.Spec{
 		Source:      lang.KMedoidsSource,
@@ -80,11 +122,10 @@ func main() {
 	prog := lang.MustParse(lang.KMedoidsSource)
 	res, err := translate.Translate(prog, ext)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	targets := res.SymbolsWithPrefix("Centre[")
-	buildNet := func() *network.Net {
+	buildLegacy := func() *network.Net {
 		b := network.NewBuilder(space, nil)
 		for _, sym := range targets {
 			e, _ := res.BoolEvent(sym)
@@ -92,7 +133,83 @@ func main() {
 		}
 		return b.Build()
 	}
-	net := buildNet()
+	buildFused := func() *network.Net {
+		b := network.NewBuilder(space, nil)
+		fres, err := translate.TranslateInto(prog, ext, b)
+		if err != nil {
+			fatal(err)
+		}
+		for _, sym := range targets {
+			id, _ := fres.BoolNode(sym)
+			b.Target(sym, id)
+		}
+		return b.Build()
+	}
+
+	benchFused := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buildFused()
+		}
+	}
+
+	if *compareFlag != "" {
+		raw, err := os.ReadFile(*compareFlag)
+		if err != nil {
+			fatal(err)
+		}
+		var old snapshot
+		if err := json.Unmarshal(raw, &old); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *compareFlag, err))
+		}
+		oldNs, source, ok := frontendBaseline(&old)
+		if !ok {
+			fatal(fmt.Errorf("%s has no front-end benchmarks to compare against", *compareFlag))
+		}
+		cur := run("pipeline/frontend-fused", benchFused)
+		ratio := cur.NsPerOp / oldNs
+		fmt.Printf("front end: %.0f ns/op now vs %.0f ns/op committed (%s), ratio %.3f (limit %.2f)\n",
+			cur.NsPerOp, oldNs, source, ratio, regressionLimit)
+		if ratio > regressionLimit {
+			fmt.Fprintf(os.Stderr, "bench: front-end regression: %.3f× the committed snapshot (limit %.2f×)\n",
+				ratio, regressionLimit)
+			os.Exit(1)
+		}
+		return
+	}
+
+	net := buildFused()
+
+	// Carry the committed snapshot's front-end numbers into the new file.
+	var previous map[string]float64
+	if raw, err := os.ReadFile(*outFlag); err == nil {
+		var old snapshot
+		if json.Unmarshal(raw, &old) == nil {
+			previous = map[string]float64{}
+			if ns, _, ok := frontendBaseline(&old); ok {
+				previous["frontend_ns_per_op"] = ns
+			}
+			var frontAllocs float64
+			for _, b := range old.Benchmarks {
+				switch b.Name {
+				case "pipeline/frontend-fused":
+					frontAllocs = float64(b.AllocsPerOp)
+				case "pipeline/translate", "pipeline/ground":
+					if _, ok := old.Counters["network.hashcons.hit_rate_legacy"]; !ok {
+						// Pre-fusion snapshot: front-end allocs are the
+						// two-phase sum.
+						frontAllocs += float64(b.AllocsPerOp)
+					}
+				}
+			}
+			if frontAllocs > 0 {
+				previous["frontend_allocs_per_op"] = frontAllocs
+			}
+			if hr, ok := old.Counters["network.hashcons.hit_rate"]; ok {
+				previous["hashcons_hit_rate"] = hr
+			}
+		}
+	}
 
 	snap := snapshot{
 		Config: map[string]any{
@@ -100,6 +217,7 @@ func main() {
 			"scheme": "positive", "k": 2, "iter": 3,
 		},
 		Counters: map[string]float64{},
+		Previous: previous,
 	}
 
 	snap.Benchmarks = append(snap.Benchmarks,
@@ -122,9 +240,10 @@ func main() {
 		run("pipeline/ground", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				buildNet()
+				buildLegacy()
 			}
 		}),
+		run("pipeline/frontend-fused", benchFused),
 		run("pipeline/compile-exact", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -151,14 +270,15 @@ func main() {
 		}),
 	)
 
-	// One traced run harvests the observability counters for the snapshot.
+	// One traced run harvests the observability counters for the snapshot;
+	// core defaults to the fused front end, so network.hashcons.* reflect
+	// the streaming builder.
 	tr := obs.New("bench")
 	traced := spec
 	traced.Compile = prob.Options{Strategy: prob.Exact, Obs: tr}
 	rep, err := core.Run(traced)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	tr.Finish()
 	for _, mv := range tr.Metrics().Values() {
@@ -166,20 +286,31 @@ func main() {
 	}
 	snap.Counters["core.timings.total_ms"] = float64(rep.Timings.Total.Milliseconds())
 
+	// A second traced run through the legacy two-phase oracle records the
+	// pre-canonicalisation hit rate next to the fused one, keeping the old
+	// vs new interning efficiency visible in every snapshot.
+	trLegacy := obs.New("bench-legacy")
+	legacy := spec
+	legacy.LegacyFrontEnd = true
+	legacy.Compile = prob.Options{Strategy: prob.Exact, Obs: trLegacy}
+	repLegacy, err := core.Run(legacy)
+	if err != nil {
+		fatal(err)
+	}
+	trLegacy.Finish()
+	snap.Counters["network.hashcons.hit_rate_legacy"] = repLegacy.Ground.HitRate()
+
 	f, err := os.Create(*outFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(snap); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if err := f.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d benchmarks, %d counters)\n", *outFlag, len(snap.Benchmarks), len(snap.Counters))
 }

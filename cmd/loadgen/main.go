@@ -5,6 +5,12 @@
 // server on an ephemeral port, so `make bench-serve` is self-contained;
 // point -addr at a running `enframe serve` to load an external process.
 //
+// The default run measures the warm steady state and then a short cold
+// phase with -no-cache-key semantics (every request gets a fresh data seed,
+// so every cache key misses and the full front end runs per request); the
+// cold numbers land in the snapshot's "cold" section. Passing -no-cache-key
+// makes the entire measured run cold instead.
+//
 // `loadgen -smoke` instead runs the CI smoke check: POST one builtin
 // kmedoids request twice, assert the second response reports a cache hit,
 // then drain — exiting nonzero on any violation.
@@ -21,6 +27,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"enframe/internal/server"
@@ -35,12 +42,21 @@ var (
 	nFlag    = flag.Int("n", 10, "data points per request")
 	varsFlag = flag.Int("vars", 6, "variable pool of the positive scheme")
 	smokeFlg = flag.Bool("smoke", false, "run the CI smoke check instead of a load run")
+	coldFlag = flag.Bool("no-cache-key", false,
+		"jitter every request's data seed so no cache key repeats (measures the cold path)")
 )
 
-func request(key int) server.RunRequest {
+// coldSeedBase offsets jittered seeds far above the warm key range so a cold
+// request can never collide with a warmed cache entry.
+const coldSeedBase = int64(1) << 20
+
+// coldSeq hands out a fresh seed per cold request.
+var coldSeq atomic.Int64
+
+func request(seed int64) server.RunRequest {
 	return server.RunRequest{
 		Program: "kmedoids",
-		Data:    server.DataSpec{N: *nFlag, Vars: *varsFlag, L: 6, Seed: int64(key + 1)},
+		Data:    server.DataSpec{N: *nFlag, Vars: *varsFlag, L: 6, Seed: seed},
 		Params:  server.ParamSpec{K: 2, Iter: 2},
 	}
 }
@@ -101,6 +117,10 @@ type snapshot struct {
 	CacheHits int                `json:"cache_hits"`
 	CacheMiss int                `json:"cache_misses"`
 	HitRate   float64            `json:"cache_hit_rate"`
+	// Cold summarizes the no-cache-key phase: every request misses the
+	// compiled-artifact cache, so throughput here is bounded by the front
+	// end (fused translate+ground) plus compilation, not cache lookups.
+	Cold map[string]float64 `json:"cold,omitempty"`
 }
 
 func percentile(sorted []time.Duration, p float64) float64 {
@@ -114,20 +134,31 @@ func percentile(sorted []time.Duration, p float64) float64 {
 	return float64(sorted[idx]) / float64(time.Millisecond)
 }
 
-func load(addr string) snapshot {
+// load runs one measured phase. With jitter, every request draws a unique
+// seed (guaranteed cache miss — the cold path); otherwise clients cycle the
+// -keys warm keys and the cache is pre-warmed first.
+func load(addr string, dur time.Duration, jitter bool) snapshot {
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *cFlag}}
 
-	// Warm the cache with one request per key so the measured window sees
-	// the steady state, matching a long-lived server's behaviour.
-	for key := 0; key < *keysFlag; key++ {
-		post(client, addr, request(key))
+	if !jitter {
+		// Warm the cache with one request per key so the measured window
+		// sees the steady state, matching a long-lived server's behaviour.
+		for key := 0; key < *keysFlag; key++ {
+			post(client, addr, request(int64(key+1)))
+		}
+	}
+	seed := func(c, i int) int64 {
+		if jitter {
+			return coldSeedBase + coldSeq.Add(1)
+		}
+		return int64((c+i)%*keysFlag + 1)
 	}
 
 	var (
 		mu      sync.Mutex
 		samples []sample
 	)
-	deadline := time.Now().Add(*durFlag)
+	deadline := time.Now().Add(dur)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < *cFlag; c++ {
@@ -135,7 +166,7 @@ func load(addr string) snapshot {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; time.Now().Before(deadline); i++ {
-				lat, status, cache := post(client, addr, request((c+i)%*keysFlag))
+				lat, status, cache := post(client, addr, request(seed(c, i)))
 				mu.Lock()
 				samples = append(samples, sample{lat, status, cache})
 				mu.Unlock()
@@ -147,8 +178,9 @@ func load(addr string) snapshot {
 
 	snap := snapshot{
 		Config: map[string]any{
-			"concurrency": *cFlag, "duration": durFlag.String(), "keys": *keysFlag,
+			"concurrency": *cFlag, "duration": dur.String(), "keys": *keysFlag,
 			"program": "kmedoids", "n": *nFlag, "vars": *varsFlag,
+			"no_cache_key": jitter,
 		},
 		Statuses:  map[string]int{},
 		LatencyMs: map[string]float64{},
@@ -180,11 +212,23 @@ func load(addr string) snapshot {
 	return snap
 }
 
+// coldSummary flattens a cold-phase snapshot into the "cold" section.
+func coldSummary(s snapshot) map[string]float64 {
+	return map[string]float64{
+		"requests":       float64(s.Requests),
+		"throughput_rps": s.Rps,
+		"latency_ms_p50": s.LatencyMs["p50"],
+		"latency_ms_p95": s.LatencyMs["p95"],
+		"latency_ms_p99": s.LatencyMs["p99"],
+		"cache_hit_rate": s.HitRate,
+	}
+}
+
 // smoke is the CI check: two identical requests, the second must be a
 // cache hit, and the server must drain cleanly afterwards.
 func smoke(addr string) error {
 	client := &http.Client{}
-	req := request(0)
+	req := request(1)
 	lat1, status, cache := post(client, addr, req)
 	if status != http.StatusOK {
 		return fmt.Errorf("first request: status %d", status)
@@ -223,7 +267,13 @@ func main() {
 		return
 	}
 
-	snap := load(addr)
+	snap := load(addr, *durFlag, *coldFlag)
+	if !*coldFlag {
+		// Follow the warm run with a half-duration cold phase so the
+		// snapshot always records cold-request throughput too.
+		cold := load(addr, *durFlag/2, true)
+		snap.Cold = coldSummary(cold)
+	}
 	stop()
 
 	f, err := os.Create(*outFlag)
@@ -241,7 +291,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: %d requests, %.0f req/s, p50 %.1fms p95 %.1fms p99 %.1fms, hit rate %.1f%%\n",
+	fmt.Printf("wrote %s: %d requests, %.0f req/s, p50 %.1fms p95 %.1fms p99 %.1fms, hit rate %.1f%%",
 		*outFlag, snap.Requests, snap.Rps,
 		snap.LatencyMs["p50"], snap.LatencyMs["p95"], snap.LatencyMs["p99"], snap.HitRate*100)
+	if snap.Cold != nil {
+		fmt.Printf("; cold %.0f req/s p95 %.1fms", snap.Cold["throughput_rps"], snap.Cold["latency_ms_p95"])
+	}
+	fmt.Println()
 }

@@ -1,0 +1,144 @@
+package difftest
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"enframe/internal/gen"
+	"enframe/internal/lang"
+	"enframe/internal/network"
+	"enframe/internal/prob"
+	"enframe/internal/translate"
+)
+
+// TestFusedLegacyEquivalence is the oracle check for the fused front end:
+// for a batch of generated programs, the network built by the streaming
+// TranslateInto path must be structurally isomorphic to the one built by
+// the legacy two-phase translate-then-ground path, and both must compile to
+// bit-identical marginals under the exact compiler and the reference
+// evaluator. Runs parallel per seed, so `go test -race` also exercises the
+// builders under concurrent construction.
+func TestFusedLegacyEquivalence(t *testing.T) {
+	const seeds = 260
+	minChecked := int64(200)
+	if testing.Short() {
+		minChecked = 30
+	}
+	var checked atomic.Int64
+	for seed := int64(1); seed <= seeds; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			if checkFusedLegacy(t, seed) {
+				checked.Add(1)
+			}
+		})
+	}
+	t.Cleanup(func() {
+		if got := checked.Load(); got < minChecked {
+			t.Errorf("only %d/%d seeds produced comparable networks (need ≥%d)", got, seeds, minChecked)
+		}
+	})
+}
+
+// checkFusedLegacy builds one generated program through both front ends and
+// cross-checks them; it reports whether the seed yielded a comparable pair.
+func checkFusedLegacy(t *testing.T, seed int64) bool {
+	p := gen.New(seed)
+	in := p.Input
+	prog, err := lang.Parse(p.Source())
+	if err != nil {
+		t.Skipf("parse: %v", err)
+	}
+	ext := translate.External{
+		Objects:     in.Objects,
+		Space:       in.Space,
+		Params:      in.Params,
+		InitIndices: in.InitIndices,
+	}
+
+	res, err := translate.Translate(prog, ext)
+	if err != nil {
+		t.Skipf("translate: %v", err)
+	}
+	fb := network.NewBuilder(in.Space, in.Metric)
+	fres, err := translate.TranslateInto(prog, ext, fb)
+	if err != nil {
+		t.Fatalf("fused translate failed where legacy succeeded: %v", err)
+	}
+
+	var targets []string
+	for _, s := range p.Syms() {
+		if !s.IsBool {
+			continue
+		}
+		e, legacyOK := res.BoolEvent(s.Name)
+		id, fusedOK := fres.BoolNode(s.Name)
+		if legacyOK != fusedOK {
+			t.Fatalf("%s: legacy binding %v vs fused binding %v", s.Name, legacyOK, fusedOK)
+		}
+		if !legacyOK {
+			continue
+		}
+		_ = e
+		_ = id
+		targets = append(targets, s.Name)
+	}
+	if len(targets) == 0 {
+		t.Skip("no Boolean targets")
+	}
+
+	lb := network.NewBuilder(in.Space, in.Metric)
+	for _, sym := range targets {
+		e, _ := res.BoolEvent(sym)
+		lb.Target(sym, lb.AddExpr(e))
+	}
+	legacyNet := lb.Build()
+
+	for _, sym := range targets {
+		id, _ := fres.BoolNode(sym)
+		fb.Target(sym, id)
+	}
+	fusedNet := fb.Build()
+
+	if err := network.Isomorphic(legacyNet, fusedNet); err != nil {
+		t.Fatalf("seed %d: %v\nprogram:\n%s", seed, err, p.Source())
+	}
+
+	// Isomorphic nets must compile to bit-identical marginals: same exact
+	// compiler output, same reference-evaluator output.
+	compareBits(t, seed, p, "exact",
+		mustCompile(t, legacyNet, prob.Compile),
+		mustCompile(t, fusedNet, prob.Compile))
+	compareBits(t, seed, p, "reference",
+		mustCompile(t, legacyNet, prob.CompileRef),
+		mustCompile(t, fusedNet, prob.CompileRef))
+	return true
+}
+
+func mustCompile(t *testing.T, net *network.Net,
+	compile func(*network.Net, prob.Options) (*prob.Result, error)) *prob.Result {
+	t.Helper()
+	r, err := compile(net, prob.Options{Strategy: prob.Exact})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return r
+}
+
+func compareBits(t *testing.T, seed int64, p *gen.Program, stage string, legacy, fused *prob.Result) {
+	t.Helper()
+	if len(legacy.Targets) != len(fused.Targets) {
+		t.Fatalf("seed %d: %s: %d vs %d targets", seed, stage, len(legacy.Targets), len(fused.Targets))
+	}
+	for _, lt := range legacy.Targets {
+		ft, ok := fused.Target(lt.Name)
+		if !ok {
+			t.Fatalf("seed %d: %s: fused result missing target %q", seed, stage, lt.Name)
+		}
+		if lt.Lower != ft.Lower || lt.Upper != ft.Upper {
+			t.Fatalf("seed %d: %s: %s: legacy [%.17g, %.17g] vs fused [%.17g, %.17g]\nprogram:\n%s",
+				seed, stage, lt.Name, lt.Lower, lt.Upper, ft.Lower, ft.Upper, p.Source())
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package network
+
+import (
+	"testing"
+
+	"enframe/internal/event"
+)
+
+func TestIsomorphicPermutedConstruction(t *testing.T) {
+	sp := event.NewSpace()
+	x := sp.Add("x", 0.3)
+	y := sp.Add("y", 0.5)
+	z := sp.Add("z", 0.7)
+
+	// Same formula, children supplied in different orders and the DAG built
+	// bottom-up in a different sequence: (x∧y)∨¬z targeted as "t".
+	a := NewBuilder(sp, nil)
+	a.Target("t", a.Or(a.And(a.Var(x), a.Var(y)), a.Not(a.Var(z))))
+	na := a.Build()
+
+	b := NewBuilder(sp, nil)
+	nz := b.Not(b.Var(z)) // build the negation first, swap ∧/∨ child order
+	b.Target("t", b.Or(nz, b.And(b.Var(y), b.Var(x))))
+	nb := b.Build()
+
+	if err := Isomorphic(na, nb); err != nil {
+		t.Fatalf("permuted construction must be isomorphic: %v", err)
+	}
+}
+
+func TestIsomorphicDetectsDifferences(t *testing.T) {
+	sp := event.NewSpace()
+	x := sp.Add("x", 0.3)
+	y := sp.Add("y", 0.5)
+
+	and := NewBuilder(sp, nil)
+	and.Target("t", and.And(and.Var(x), and.Var(y)))
+	nAnd := and.Build()
+
+	or := NewBuilder(sp, nil)
+	or.Target("t", or.Or(or.Var(x), or.Var(y)))
+	nOr := or.Build()
+
+	if err := Isomorphic(nAnd, nOr); err == nil {
+		t.Fatal("x∧y vs x∨y must not be isomorphic")
+	}
+
+	named := NewBuilder(sp, nil)
+	named.Target("u", named.And(named.Var(x), named.Var(y)))
+	nNamed := named.Build()
+	if err := Isomorphic(nAnd, nNamed); err == nil {
+		t.Fatal("mismatched target names must not be isomorphic")
+	}
+}
+
+func TestIsomorphicSumOrderIsSignificant(t *testing.T) {
+	sp := event.NewSpace()
+	x := sp.Add("x", 0.3)
+	y := sp.Add("y", 0.5)
+
+	a := NewBuilder(sp, nil)
+	ax := a.CondVal(a.Var(x), event.Num(1))
+	ay := a.CondVal(a.Var(y), event.Num(2))
+	a.Target("s", a.Cmp(event.LT, a.Sum(ax, ay), a.ConstNum(event.Num(5))))
+	na := a.Build()
+
+	b := NewBuilder(sp, nil)
+	bx := b.CondVal(b.Var(x), event.Num(1))
+	by := b.CondVal(b.Var(y), event.Num(2))
+	b.Target("s", b.Cmp(event.LT, b.Sum(by, bx), b.ConstNum(event.Num(5))))
+	nb := b.Build()
+
+	// Float addition is order-sensitive, so Σ children compare exactly.
+	if err := Isomorphic(na, nb); err == nil {
+		t.Fatal("reordered Σ children must not count as isomorphic")
+	}
+}

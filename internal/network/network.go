@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"slices"
 
 	"enframe/internal/event"
 	"enframe/internal/obs"
@@ -157,7 +158,12 @@ func (n *Net) KindCounts() map[string]int64 {
 
 // Builder constructs a network with structural hash-consing: structurally
 // identical subexpressions become the same node, so the repetitive event
-// programs of data mining tasks stay compact.
+// programs of data mining tasks stay compact. Construction is the serving
+// layer's cold-request hot path, so the builder is engineered for it:
+// intern keys are built into a reusable scratch buffer (a lookup allocates
+// nothing), commutative ∧/∨ children are canonically sorted before lookup
+// so argument order cannot defeat sharing, and child-id slices are carved
+// out of chunked arenas instead of one allocation per node.
 type Builder struct {
 	space    *event.Space
 	metric   vec.Distance
@@ -167,10 +173,20 @@ type Builder struct {
 	numMemo  map[event.NumExpr]NodeID
 	targets  []Target
 	noFold   bool
+	// keyBuf is the reusable intern-key scratch; scratch the reusable n-ary
+	// flattening buffer; pair backs fixed-arity child lists during lookup.
+	keyBuf  []byte
+	scratch []NodeID
+	pair    [2]NodeID
+	// kidArena is the current chunk child slices are carved from.
+	kidArena []NodeID
 	// Hash-cons accounting: lookups and hits of intern, created nodes per
-	// kind. Published to reg (when set) by Build.
+	// kind, canonical reorderings, arena chunks. Published to reg (when set)
+	// by Build.
 	lookups     int64
 	hits        int64
+	canon       int64
+	arenaChunks int64
 	kindCreated [numKinds]int64
 	reg         *obs.Registry
 }
@@ -190,17 +206,45 @@ func NewBuilder(space *event.Space, metric vec.Distance) *Builder {
 	}
 }
 
-func (b *Builder) intern(n Node) NodeID {
-	key := internKey(n)
+// kidChunkSize is the arena chunk granularity; fan-ins above a quarter chunk
+// get a dedicated allocation so one giant conjunction cannot strand a chunk.
+const kidChunkSize = 4096
+
+// arenaCopy persists a (possibly scratch-backed) child list into the arena.
+func (b *Builder) arenaCopy(kids []NodeID) []NodeID {
+	if len(kids) == 0 {
+		return nil
+	}
+	if len(kids) > kidChunkSize/4 {
+		return slices.Clone(kids)
+	}
+	if len(b.kidArena)+len(kids) > cap(b.kidArena) {
+		b.kidArena = make([]NodeID, 0, kidChunkSize)
+		b.arenaChunks++
+	}
+	start := len(b.kidArena)
+	b.kidArena = append(b.kidArena, kids...)
+	return b.kidArena[start:len(b.kidArena):len(b.kidArena)]
+}
+
+// intern looks up the node identified by (n's payload, kids), creating it on
+// a miss. kids may alias a scratch buffer: it is only read during the
+// lookup, and copied into the arena when the node is new. The lookup itself
+// allocates nothing — the key is built into a reusable buffer and the map
+// probe uses the compiler's zero-copy string conversion.
+func (b *Builder) intern(n Node, kids []NodeID) NodeID {
+	n.Kids = kids
+	b.keyBuf = appendInternKey(b.keyBuf[:0], n)
 	b.lookups++
-	if id, ok := b.interned[key]; ok {
+	if id, ok := b.interned[string(b.keyBuf)]; ok {
 		b.hits++
 		return id
 	}
 	b.kindCreated[n.Kind]++
+	n.Kids = b.arenaCopy(kids)
 	id := NodeID(len(b.nodes))
 	b.nodes = append(b.nodes, n)
-	b.interned[key] = id
+	b.interned[string(b.keyBuf)] = id
 	return id
 }
 
@@ -216,6 +260,11 @@ type BuilderStats struct {
 	Hits    int64
 	// Created counts distinct nodes built (Lookups − Hits).
 	Created int64
+	// CanonRewrites counts ∧/∨ constructions whose children arrived in
+	// non-canonical order and were sorted before the intern lookup.
+	CanonRewrites int64
+	// ArenaChunks counts the child-slice arena chunks allocated.
+	ArenaChunks int64
 	// ByKind breaks Created down per node kind.
 	ByKind map[string]int64
 }
@@ -232,10 +281,12 @@ func (s BuilderStats) HitRate() float64 {
 // after Build.
 func (b *Builder) Stats() BuilderStats {
 	st := BuilderStats{
-		Lookups: b.lookups,
-		Hits:    b.hits,
-		Created: b.lookups - b.hits,
-		ByKind:  make(map[string]int64, numKinds),
+		Lookups:       b.lookups,
+		Hits:          b.hits,
+		Created:       b.lookups - b.hits,
+		CanonRewrites: b.canon,
+		ArenaChunks:   b.arenaChunks,
+		ByKind:        make(map[string]int64, numKinds),
 	}
 	for k, c := range b.kindCreated {
 		if c > 0 {
@@ -245,8 +296,7 @@ func (b *Builder) Stats() BuilderStats {
 	return st
 }
 
-func internKey(n Node) string {
-	buf := make([]byte, 0, 16+4*len(n.Kids))
+func appendInternKey(buf []byte, n Node) []byte {
 	buf = append(buf, byte(n.Kind))
 	switch n.Kind {
 	case KVar:
@@ -281,16 +331,28 @@ func internKey(n Node) string {
 	for _, k := range n.Kids {
 		buf = binary.AppendVarint(buf, int64(k))
 	}
-	return string(buf)
+	return buf
 }
 
 // Var returns the leaf node for variable x.
 func (b *Builder) Var(x event.VarID) NodeID {
-	return b.intern(Node{Kind: KVar, Var: x})
+	return b.intern(Node{Kind: KVar, Var: x}, nil)
 }
 
 // Bool returns the constant node for ⊤ or ⊥.
-func (b *Builder) Bool(v bool) NodeID { return b.intern(Node{Kind: KConst, B: v}) }
+func (b *Builder) Bool(v bool) NodeID { return b.intern(Node{Kind: KConst, B: v}, nil) }
+
+// intern1 and intern2 intern fixed-arity nodes through the builder-held pair
+// buffer, keeping the child list off the heap during lookup.
+func (b *Builder) intern1(n Node, k NodeID) NodeID {
+	b.pair[0] = k
+	return b.intern(n, b.pair[:1])
+}
+
+func (b *Builder) intern2(n Node, l, r NodeID) NodeID {
+	b.pair[0], b.pair[1] = l, r
+	return b.intern(n, b.pair[:2])
+}
 
 // Not returns ¬k, simplifying constants and double negation.
 func (b *Builder) Not(k NodeID) NodeID {
@@ -300,15 +362,17 @@ func (b *Builder) Not(k NodeID) NodeID {
 	case KNot:
 		return n.Kids[0]
 	}
-	return b.intern(Node{Kind: KNot, Kids: []NodeID{k}})
+	return b.intern1(Node{Kind: KNot}, k)
 }
 
 // And returns the conjunction of ks, flattening, deduplicating, and
-// simplifying constants.
+// simplifying constants. Children are canonically sorted: ∧ and ∨ are
+// commutative, so structurally equal connectives built in any argument
+// order intern to one node.
 func (b *Builder) And(ks ...NodeID) NodeID { return b.nary(KAnd, ks) }
 
 // Or returns the disjunction of ks, flattening, deduplicating, and
-// simplifying constants.
+// simplifying constants, with the same canonical child order as And.
 func (b *Builder) Or(ks ...NodeID) NodeID { return b.nary(KOr, ks) }
 
 func (b *Builder) nary(kind Kind, ks []NodeID) NodeID {
@@ -316,37 +380,52 @@ func (b *Builder) nary(kind Kind, ks []NodeID) NodeID {
 	if kind == KOr {
 		neutral, absorbing = false, true
 	}
-	flat := make([]NodeID, 0, len(ks))
-	seen := make(map[NodeID]bool, len(ks))
+	flat := b.scratch[:0]
 	for _, k := range ks {
-		n := b.nodes[k]
+		n := &b.nodes[k]
 		if n.Kind == KConst {
 			if n.B == absorbing {
+				b.scratch = flat
 				return b.Bool(absorbing)
 			}
 			continue // neutral element dropped
 		}
 		if n.Kind == kind {
-			for _, c := range n.Kids {
-				if !seen[c] {
-					seen[c] = true
-					flat = append(flat, c)
-				}
-			}
+			// Nested chains flatten; their children are already canonical
+			// but must be re-sorted against the siblings below.
+			flat = append(flat, n.Kids...)
 			continue
 		}
-		if !seen[k] {
-			seen[k] = true
-			flat = append(flat, k)
-		}
+		flat = append(flat, k)
 	}
+	// Canonicalise: sort children and drop adjacent duplicates (∧/∨ are
+	// commutative and idempotent). This is what lifts the hash-cons hit
+	// rate — iteration-order differences in the front end no longer mint
+	// fresh nodes for the same connective.
+	if !slices.IsSorted(flat) {
+		slices.Sort(flat)
+		b.canon++
+	}
+	flat = dedupSorted(flat)
+	b.scratch = flat[:0]
 	switch len(flat) {
 	case 0:
 		return b.Bool(neutral)
 	case 1:
 		return flat[0]
 	}
-	return b.intern(Node{Kind: kind, Kids: flat})
+	return b.intern(Node{Kind: kind}, flat)
+}
+
+// dedupSorted removes adjacent duplicates in place.
+func dedupSorted(xs []NodeID) []NodeID {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || xs[i-1] != x {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 // constOf reports whether a numeric node is a build-time constant of the
@@ -377,12 +456,12 @@ func (b *Builder) Cmp(op event.CmpOp, l, r NodeID) NodeID {
 			}
 		}
 	}
-	return b.intern(Node{Kind: KCmp, Op: op, Kids: []NodeID{l, r}})
+	return b.intern2(Node{Kind: KCmp, Op: op}, l, r)
 }
 
 // CondVal returns guard ⊗ val for a constant value.
 func (b *Builder) CondVal(guard NodeID, val event.Value) NodeID {
-	return b.intern(Node{Kind: KCondVal, Val: val, Kids: []NodeID{guard}})
+	return b.intern1(Node{Kind: KCondVal, Val: val}, guard)
 }
 
 // ConstNum returns the always-defined constant ⊤ ⊗ val.
@@ -400,7 +479,7 @@ func (b *Builder) Guard(guard, v NodeID) NodeID {
 	if n := b.nodes[v]; n.Kind == KCondVal {
 		return b.CondVal(b.And(guard, n.Kids[0]), n.Val)
 	}
-	return b.intern(Node{Kind: KGuard, Kids: []NodeID{guard, v}})
+	return b.intern2(Node{Kind: KGuard}, guard, v)
 }
 
 // Sum returns Σ ks, flattening nested sums. With constant folding enabled
@@ -414,9 +493,12 @@ func (b *Builder) Sum(ks ...NodeID) NodeID { return b.naryNum(KSum, ks) }
 func (b *Builder) Prod(ks ...NodeID) NodeID { return b.naryNum(KProd, ks) }
 
 func (b *Builder) naryNum(kind Kind, ks []NodeID) NodeID {
-	flat := make([]NodeID, 0, len(ks))
+	// Σ/Π children keep their construction order: floating-point addition
+	// is not associative-commutative bit-for-bit, and evaluation must stay
+	// identical between the fused and two-phase front ends.
+	flat := b.scratch[:0]
 	for _, k := range ks {
-		if n := b.nodes[k]; n.Kind == kind {
+		if n := &b.nodes[k]; n.Kind == kind {
 			flat = append(flat, n.Kids...)
 			continue
 		}
@@ -462,6 +544,7 @@ func (b *Builder) naryNum(kind Kind, ks []NodeID) NodeID {
 		}
 		flat = folded
 	}
+	b.scratch = flat[:0]
 	switch len(flat) {
 	case 0:
 		// Σ of nothing is the undefined value u.
@@ -469,7 +552,7 @@ func (b *Builder) naryNum(kind Kind, ks []NodeID) NodeID {
 	case 1:
 		return flat[0]
 	}
-	return b.intern(Node{Kind: kind, Kids: flat})
+	return b.intern(Node{Kind: kind}, flat)
 }
 
 func (b *Builder) isTrueConst(id NodeID) bool {
@@ -486,7 +569,7 @@ func (b *Builder) Inv(k NodeID) NodeID {
 	if v, ok := b.constOf(k); ok && !b.noFold {
 		return b.ConstNum(event.Inv(v))
 	}
-	return b.intern(Node{Kind: KInv, Kids: []NodeID{k}})
+	return b.intern1(Node{Kind: KInv}, k)
 }
 
 // Pow returns k^exp, folding constants.
@@ -494,7 +577,7 @@ func (b *Builder) Pow(k NodeID, exp int) NodeID {
 	if v, ok := b.constOf(k); ok && !b.noFold {
 		return b.ConstNum(event.PowVal(v, exp))
 	}
-	return b.intern(Node{Kind: KPow, Exp: exp, Kids: []NodeID{k}})
+	return b.intern1(Node{Kind: KPow, Exp: exp}, k)
 }
 
 // Dist returns dist(l, r), folded when both endpoints are constant.
@@ -506,7 +589,7 @@ func (b *Builder) Dist(l, r NodeID) NodeID {
 			}
 		}
 	}
-	return b.intern(Node{Kind: KDist, Kids: []NodeID{l, r}})
+	return b.intern2(Node{Kind: KDist}, l, r)
 }
 
 // AddExpr compiles a Boolean event expression into the network, sharing
@@ -628,6 +711,8 @@ func (b *Builder) Build() *Net {
 		b.reg.Counter("network.nodes.created").Add(st.Created)
 		b.reg.Counter("network.nodes.live").Add(int64(len(nodes)))
 		b.reg.Gauge("network.hashcons.hit_rate").Set(st.HitRate())
+		b.reg.Counter("network.builder.canon_rewrites").Add(st.CanonRewrites)
+		b.reg.Counter("network.builder.arena_chunks").Add(st.ArenaChunks)
 		for kind, c := range net.KindCounts() {
 			b.reg.Counter("network.nodes.kind." + kind).Add(c)
 		}

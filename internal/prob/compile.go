@@ -170,6 +170,14 @@ type runner struct {
 	pristine *state      // shared post-init snapshot for distributed jobs
 }
 
+// leaseBudgetBuf hands a walker the backing array for its per-depth budget
+// buffers: (|order|+2)·n floats cover the deepest possible expansion, so a
+// Hybrid walker allocates exactly once per compilation instead of once per
+// depth reached.
+func (r *runner) leaseBudgetBuf(n int) []float64 {
+	return make([]float64, (len(r.order)+2)*n)
+}
+
 func (r *runner) runSequential() Stats {
 	tInit := time.Now()
 	initSpan := r.span.Start("init")
@@ -216,7 +224,9 @@ type walker struct {
 	fork func(oi int, p float64, E []float64) bool
 	// localVars counts assignments made since the current job's root.
 	localVars int
-	bufs      [][]float64
+	// back is the contiguous backing of the per-depth budget-halving
+	// buffers (Hybrid only), leased from the runner on first use.
+	back []float64
 }
 
 // dfs explores the branch extending the current assignment by x ↦ xval
@@ -308,11 +318,16 @@ func (w *walker) dfs(depth, oi int, x event.VarID, xval bool, p float64, E []flo
 	}
 }
 
+// buf returns the depth-th budget buffer, a row of a single contiguous
+// backing array leased from the runner — one allocation per walker instead
+// of one per depth. Exact compilation never calls it, so the non-budgeted
+// path stays allocation-free here.
 func (w *walker) buf(depth, n int) []float64 {
-	for len(w.bufs) <= depth {
-		w.bufs = append(w.bufs, make([]float64, n))
+	if w.back == nil {
+		w.back = w.run.leaseBudgetBuf(n)
 	}
-	return w.bufs[depth]
+	off := depth * n
+	return w.back[off : off+n]
 }
 
 // nextVar returns the next influential unassigned variable at or after

@@ -60,7 +60,7 @@ func (tr *translator) tupleAssign(t *lang.TupleAssign) error {
 		objs := make([]tval, len(tr.ext.Objects))
 		for l, o := range tr.ext.Objects {
 			// O_l ≡ Φ(o_l) ⊗ o_l (Figures 1–3).
-			objs[l] = numTV(event.NewCondVal(o.Lineage, event.Vect(o.Pos)))
+			objs[l] = numTV(tr.em.condVal(tr.em.lineage(o.Lineage), event.Vect(o.Pos)))
 		}
 		arr := tval{arr: objs}
 		tr.vars[t.Names[0]] = arr
@@ -97,8 +97,11 @@ func (tr *translator) tupleAssign(t *lang.TupleAssign) error {
 }
 
 // assignArray flattens a whole-array binding into per-element labelled
-// declarations.
+// declarations; a no-op on the fused path, which emits no declarations.
 func (tr *translator) assignArray(sym string, v tval) error {
+	if !tr.decls {
+		return nil
+	}
 	if v.arr == nil {
 		return tr.assignSym(sym, v)
 	}
@@ -116,7 +119,7 @@ func (tr *translator) assign(t *lang.Assign) error {
 		ms := make([]tval, len(tr.ext.InitIndices))
 		for i, ix := range tr.ext.InitIndices {
 			o := tr.ext.Objects[ix]
-			ms[i] = numTV(event.NewCondVal(o.Lineage, event.Vect(o.Pos)))
+			ms[i] = numTV(tr.em.condVal(tr.em.lineage(o.Lineage), event.Vect(o.Pos)))
 		}
 		arr := tval{arr: ms}
 		tr.vars[t.Target.Name] = arr
@@ -151,7 +154,9 @@ func (tr *translator) assign(t *lang.Assign) error {
 			return errAt(t.Pos, "index %d out of range for %q (size %d)", ix, t.Target.Name, len(cell.arr))
 		}
 		cell = &cell.arr[ix]
-		sym = fmt.Sprintf("%s[%d]", sym, ix)
+		if tr.decls {
+			sym = fmt.Sprintf("%s[%d]", sym, ix)
+		}
 	}
 	*cell = val
 	tr.vars[t.Target.Name] = cur
@@ -229,8 +234,11 @@ func (tr *translator) expr(e lang.Expr) (tval, error) {
 }
 
 // readAlignTree emits block-entry copies for every element of a read
-// variable.
+// variable; a no-op on the fused path.
 func (tr *translator) readAlignTree(sym string, v tval) error {
+	if !tr.decls {
+		return nil
+	}
 	if v.arr != nil {
 		for i, el := range v.arr {
 			if err := tr.readAlignTree(fmt.Sprintf("%s[%d]", sym, i), el); err != nil {
@@ -266,25 +274,25 @@ func (tr *translator) binop(t *lang.BinOp) (tval, error) {
 			return constTV(event.Bool(event.Compare(op, l.constV, r.constV))), nil
 		}
 	}
-	ln, ok := l.numExpr()
+	ln, ok := l.numRef(tr.em)
 	if !ok {
 		return tval{}, errAt(t.L.Position(), "expected a numeric operand")
 	}
-	rn, ok := r.numExpr()
+	rn, ok := r.numRef(tr.em)
 	if !ok {
 		return tval{}, errAt(t.R.Position(), "expected a numeric operand")
 	}
 	switch t.Op {
 	case "+":
-		return numTV(event.NewSum(ln, rn)), nil
+		return numTV(tr.em.sum2(ln, rn)), nil
 	case "*":
-		return numTV(event.NewProd(ln, rn)), nil
+		return numTV(tr.em.prod2(ln, rn)), nil
 	}
 	op, err := cmpOp(t.Op)
 	if err != nil {
 		return tval{}, errAt(t.Pos, "%v", err)
 	}
-	return boolTV(event.NewAtom(op, ln, rn)), nil
+	return boolTV(tr.em.atom(op, ln, rn)), nil
 }
 
 func cmpOp(op string) (event.CmpOp, error) {
@@ -303,14 +311,14 @@ func cmpOp(op string) (event.CmpOp, error) {
 	return 0, fmt.Errorf("unknown operator %q", op)
 }
 
-func (tr *translator) numArg(e lang.Expr) (event.NumExpr, error) {
+func (tr *translator) numArg(e lang.Expr) (nref, error) {
 	v, err := tr.expr(e)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	n, ok := v.numExpr()
+	n, ok := v.numRef(tr.em)
 	if !ok {
-		return nil, errAt(e.Position(), "expected a numeric argument")
+		return 0, errAt(e.Position(), "expected a numeric argument")
 	}
 	return n, nil
 }
@@ -329,7 +337,7 @@ func (tr *translator) call(t *lang.Call) (tval, error) {
 		if err != nil {
 			return tval{}, err
 		}
-		return numTV(event.NewDist(l, r)), nil
+		return numTV(tr.em.dist(l, r)), nil
 	case "pow":
 		b, err := tr.numArg(t.Args[0])
 		if err != nil {
@@ -339,13 +347,13 @@ func (tr *translator) call(t *lang.Call) (tval, error) {
 		if err != nil {
 			return tval{}, err
 		}
-		return numTV(event.NewPow(b, exp)), nil
+		return numTV(tr.em.pow(b, exp)), nil
 	case "invert":
 		b, err := tr.numArg(t.Args[0])
 		if err != nil {
 			return tval{}, err
 		}
-		return numTV(event.NewInv(b)), nil
+		return numTV(tr.em.inv(b)), nil
 	case "scalar_mult":
 		s, err := tr.numArg(t.Args[0])
 		if err != nil {
@@ -355,7 +363,7 @@ func (tr *translator) call(t *lang.Call) (tval, error) {
 		if err != nil {
 			return tval{}, err
 		}
-		return numTV(event.NewProd(s, v)), nil
+		return numTV(tr.em.prod2(s, v)), nil
 	case "breakTies", "breakTies1", "breakTies2":
 		arg, err := tr.expr(t.Args[0])
 		if err != nil {
@@ -371,28 +379,31 @@ func (tr *translator) call(t *lang.Call) (tval, error) {
 // breakTies translates the tie breakers of §2.2: the kept entry is the
 // first true one, encoded as raw[i] ∧ ⋀_{i'<i} ¬raw[i'].
 func (tr *translator) breakTies(t *lang.Call, arg tval) (tval, error) {
-	boolOf := func(v tval) (event.Expr, error) {
-		b, ok := v.boolExpr()
+	boolOf := func(v tval) (eref, error) {
+		b, ok := v.boolRef(tr.em)
 		if !ok {
-			return nil, errAt(t.Pos, "%s() expects a Boolean array", t.Fn)
+			return 0, errAt(t.Pos, "%s() expects a Boolean array", t.Fn)
 		}
 		return b, nil
 	}
+	// firstTrue shares the prefix ⋀_{i'<i} ¬raw[i'] across entries: ∧
+	// flattening makes out[i] identical to the textbook n-ary conjunction,
+	// while the fused back end interns each prefix exactly once.
 	firstTrue := func(cells []tval) ([]tval, error) {
 		out := make([]tval, len(cells))
-		var prior []event.Expr
+		var notPrior eref
 		for i, c := range cells {
 			b, err := boolOf(c)
 			if err != nil {
 				return nil, err
 			}
-			conj := make([]event.Expr, 0, len(prior)+1)
-			conj = append(conj, b)
-			for _, pr := range prior {
-				conj = append(conj, event.NewNot(pr))
+			if i == 0 {
+				out[i] = boolTV(b)
+				notPrior = tr.em.not(b)
+				continue
 			}
-			out[i] = boolTV(event.NewAnd(conj...))
-			prior = append(prior, b)
+			out[i] = boolTV(tr.em.and2(b, notPrior))
+			notPrior = tr.em.and2(notPrior, tr.em.not(b))
 		}
 		return out, nil
 	}
@@ -432,8 +443,8 @@ func (tr *translator) breakTies(t *lang.Call, arg tval) (tval, error) {
 		for i := range out {
 			out[i] = tval{arr: make([]tval, n)}
 		}
+		col := make([]tval, k)
 		for l := 0; l < n; l++ {
-			col := make([]tval, k)
 			for i := 0; i < k; i++ {
 				if arg.arr[i].arr == nil || len(arg.arr[i].arr) != n {
 					return tval{}, errAt(t.Pos, "breakTies2() expects a rectangular array")
@@ -476,24 +487,24 @@ func (tr *translator) reduce(t *lang.Call) (tval, error) {
 		}
 	}()
 
-	var bools []event.Expr
-	var nums []event.NumExpr
+	var bools []eref
+	var nums []nref
 	for i := from; i < to; i++ {
 		tr.vars[lc.Var] = constTV(event.Num(float64(i)))
-		cond := event.True
+		cond := tr.em.boolConst(true)
 		if lc.Cond != nil {
 			cv, err := tr.expr(lc.Cond)
 			if err != nil {
 				return tval{}, err
 			}
-			c, ok := cv.boolExpr()
+			c, ok := cv.boolRef(tr.em)
 			if !ok {
 				return tval{}, errAt(lc.Pos, "filter condition must be Boolean")
 			}
 			cond = c
 		}
 		if t.Fn == "reduce_count" {
-			nums = append(nums, event.NewCondVal(cond, event.Num(1)))
+			nums = append(nums, tr.em.condVal(cond, event.Num(1)))
 			continue
 		}
 		ev, err := tr.expr(lc.Elem)
@@ -502,34 +513,34 @@ func (tr *translator) reduce(t *lang.Call) (tval, error) {
 		}
 		switch t.Fn {
 		case "reduce_and":
-			b, ok := ev.boolExpr()
+			b, ok := ev.boolRef(tr.em)
 			if !ok {
 				return tval{}, errAt(lc.Pos, "reduce_and over non-Boolean elements")
 			}
-			bools = append(bools, event.NewOr(event.NewNot(cond), b))
+			bools = append(bools, tr.em.or2(tr.em.not(cond), b))
 		case "reduce_or":
-			b, ok := ev.boolExpr()
+			b, ok := ev.boolRef(tr.em)
 			if !ok {
 				return tval{}, errAt(lc.Pos, "reduce_or over non-Boolean elements")
 			}
-			bools = append(bools, event.NewAnd(cond, b))
+			bools = append(bools, tr.em.and2(cond, b))
 		case "reduce_sum":
-			n, ok := ev.numExpr()
+			n, ok := ev.numRef(tr.em)
 			if !ok {
 				return tval{}, errAt(lc.Pos, "reduce_sum over non-numeric elements")
 			}
-			nums = append(nums, event.NewGuard(cond, n))
+			nums = append(nums, tr.em.guardNum(cond, n))
 		case "reduce_mult":
-			n, ok := ev.numExpr()
+			n, ok := ev.numRef(tr.em)
 			if !ok {
 				return tval{}, errAt(lc.Pos, "reduce_mult over non-numeric elements")
 			}
 			if lc.Cond == nil {
 				nums = append(nums, n)
 			} else {
-				nums = append(nums, event.NewSum(
-					event.NewGuard(cond, n),
-					event.NewCondVal(event.NewNot(cond), event.Num(1)),
+				nums = append(nums, tr.em.sum2(
+					tr.em.guardNum(cond, n),
+					tr.em.condVal(tr.em.not(cond), event.Num(1)),
 				))
 			}
 		default:
@@ -538,20 +549,20 @@ func (tr *translator) reduce(t *lang.Call) (tval, error) {
 	}
 	switch t.Fn {
 	case "reduce_and":
-		return boolTV(event.NewAnd(bools...)), nil
+		return boolTV(tr.em.and(bools)), nil
 	case "reduce_or":
-		return boolTV(event.NewOr(bools...)), nil
+		return boolTV(tr.em.or(bools)), nil
 	case "reduce_sum", "reduce_count":
 		if len(nums) == 0 {
 			// Σ of an empty range is the undefined value.
-			return numTV(event.NewCondVal(event.False, event.U)), nil
+			return numTV(tr.em.condVal(tr.em.boolConst(false), event.U)), nil
 		}
-		return numTV(event.NewSum(nums...)), nil
+		return numTV(tr.em.sum(nums)), nil
 	case "reduce_mult":
 		if len(nums) == 0 {
 			return constTV(event.Num(1)), nil
 		}
-		return numTV(event.NewProd(nums...)), nil
+		return numTV(tr.em.prod(nums)), nil
 	}
 	return tval{}, errAt(t.Pos, "unknown reduction %q", t.Fn)
 }

@@ -5,6 +5,14 @@
 // emitted when a variable crosses a block boundary), arrays are flattened
 // to one identifier per element, and reduce_* calls become the aggregate
 // event expressions of the event language.
+//
+// The package has two back ends sharing one evaluator. Translate is the
+// two-phase path: it materialises the event-program AST, which callers
+// ground into a network afterwards. TranslateInto is the fused path
+// (§3.5 + §4.1 in a single streaming pass): every event is interned into a
+// hash-consed network.Builder the moment it is constructed, no AST is
+// built, and the getLabel bookkeeping is skipped entirely because labelled
+// declarations exist only to name intermediates in the AST artifact.
 package translate
 
 import (
@@ -16,6 +24,7 @@ import (
 	"enframe/internal/event"
 	"enframe/internal/lang"
 	"enframe/internal/lineage"
+	"enframe/internal/network"
 	"enframe/internal/obs"
 )
 
@@ -49,6 +58,12 @@ func (r *Result) BoolEvent(sym string) (event.Expr, bool) {
 	return e, ok
 }
 
+// HasBool reports whether sym is bound to a final Boolean event.
+func (r *Result) HasBool(sym string) bool {
+	_, ok := r.finalB[sym]
+	return ok
+}
+
 // NumEvent returns the final c-value of a variable symbol.
 func (r *Result) NumEvent(sym string) (event.NumExpr, bool) {
 	n, ok := r.finalN[sym]
@@ -64,8 +79,12 @@ func (r *Result) Label(sym string) (string, bool) {
 // SymbolsWithPrefix returns the flattened Boolean variable symbols starting
 // with the given prefix, sorted lexicographically.
 func (r *Result) SymbolsWithPrefix(prefix string) []string {
+	return symbolsWithPrefix(r.finalB, prefix)
+}
+
+func symbolsWithPrefix[V any](m map[string]V, prefix string) []string {
 	var out []string
-	for sym := range r.finalB {
+	for sym := range m {
 		if strings.HasPrefix(sym, prefix) {
 			out = append(out, sym)
 		}
@@ -74,8 +93,39 @@ func (r *Result) SymbolsWithPrefix(prefix string) []string {
 	return out
 }
 
+// NetResult is the outcome of the fused TranslateInto path: the final
+// bindings of every program variable as node ids in the caller's builder.
+type NetResult struct {
+	finalB map[string]network.NodeID
+	finalN map[string]network.NodeID
+}
+
+// BoolNode returns the network node of a symbol's final Boolean event.
+func (r *NetResult) BoolNode(sym string) (network.NodeID, bool) {
+	id, ok := r.finalB[sym]
+	return id, ok
+}
+
+// HasBool reports whether sym is bound to a final Boolean event.
+func (r *NetResult) HasBool(sym string) bool {
+	_, ok := r.finalB[sym]
+	return ok
+}
+
+// NumNode returns the network node of a symbol's final c-value.
+func (r *NetResult) NumNode(sym string) (network.NodeID, bool) {
+	id, ok := r.finalN[sym]
+	return id, ok
+}
+
+// SymbolsWithPrefix returns the flattened Boolean variable symbols starting
+// with the given prefix, sorted lexicographically.
+func (r *NetResult) SymbolsWithPrefix(prefix string) []string {
+	return symbolsWithPrefix(r.finalB, prefix)
+}
+
 // Translate validates and translates a user program over the given external
-// bindings.
+// bindings, producing the two-phase event-program artifact.
 func Translate(prog *lang.Program, ext External) (*Result, error) {
 	checkSpan := ext.Obs.Root().Start("check")
 	err := lang.Validate(prog)
@@ -89,9 +139,11 @@ func Translate(prog *lang.Program, ext External) (*Result, error) {
 	if space == nil {
 		space = event.NewSpace()
 	}
+	ae := newASTEmitter(event.NewProgram(space))
 	tr := &translator{
 		ext:    ext,
-		prog:   event.NewProgram(space),
+		em:     ae,
+		decls:  true,
 		vars:   map[string]tval{},
 		labels: map[string]*labelStack{},
 		frames: []*frame{{}},
@@ -100,83 +152,135 @@ func Translate(prog *lang.Program, ext External) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{
-		Program: tr.prog,
+		Program: ae.prog,
 		finalB:  map[string]event.Expr{},
 		finalN:  map[string]event.NumExpr{},
 		labels:  map[string]string{},
 	}
 	for name, v := range tr.vars {
-		tr.exportVal(res, name, v)
+		exportAST(ae, res, name, v)
 	}
 	for sym, ls := range tr.labels {
 		res.labels[sym] = ls.last
 	}
-	span.SetInt("decls", int64(len(tr.prog.Decls)))
+	span.SetInt("decls", int64(len(ae.prog.Decls)))
 	span.SetInt("symbols", int64(len(res.finalB)+len(res.finalN)))
 	return res, nil
 }
 
-func (tr *translator) exportVal(res *Result, sym string, v tval) {
+// TranslateInto validates and translates a user program, emitting every
+// event directly into b as it is constructed (the fused front end). The
+// caller owns the builder: register targets against the returned bindings
+// and Build() to finalise the network.
+func TranslateInto(prog *lang.Program, ext External, b *network.Builder) (*NetResult, error) {
+	checkSpan := ext.Obs.Root().Start("check")
+	err := lang.Validate(prog)
+	checkSpan.End()
+	if err != nil {
+		return nil, err
+	}
+	span := ext.Obs.Root().Start("translate+ground")
+	defer span.End()
+	ne := &netEmitter{b: b}
+	tr := &translator{
+		ext:  ext,
+		em:   ne,
+		vars: map[string]tval{},
+	}
+	if err := tr.stmts(prog.Stmts); err != nil {
+		return nil, err
+	}
+	res := &NetResult{
+		finalB: map[string]network.NodeID{},
+		finalN: map[string]network.NodeID{},
+	}
+	for name, v := range tr.vars {
+		exportNet(ne, res, name, v)
+	}
+	span.SetInt("symbols", int64(len(res.finalB)+len(res.finalN)))
+	return res, nil
+}
+
+func exportAST(ae *astEmitter, res *Result, sym string, v tval) {
 	if v.arr != nil {
 		for i, el := range v.arr {
-			tr.exportVal(res, fmt.Sprintf("%s[%d]", sym, i), el)
+			exportAST(ae, res, fmt.Sprintf("%s[%d]", sym, i), el)
 		}
 		return
 	}
 	if v.none {
 		return
 	}
-	if b, ok := v.boolExpr(); ok {
-		res.finalB[sym] = b
+	if b, ok := v.boolRef(ae); ok {
+		res.finalB[sym] = ae.boolAt(b)
 		return
 	}
-	if n, ok := v.numExpr(); ok {
-		res.finalN[sym] = n
+	if n, ok := v.numRef(ae); ok {
+		res.finalN[sym] = ae.numAt(n)
+	}
+}
+
+func exportNet(ne *netEmitter, res *NetResult, sym string, v tval) {
+	if v.arr != nil {
+		for i, el := range v.arr {
+			exportNet(ne, res, fmt.Sprintf("%s[%d]", sym, i), el)
+		}
+		return
+	}
+	if v.none {
+		return
+	}
+	if b, ok := v.boolRef(ne); ok {
+		res.finalB[sym] = network.NodeID(b)
+		return
+	}
+	if n, ok := v.numRef(ne); ok {
+		res.finalN[sym] = network.NodeID(n)
 	}
 }
 
 // tval is a symbolic value: a compile-time constant, a Boolean event, a
-// c-value, an array, or the uninitialised placeholder.
+// c-value, an array, or the uninitialised placeholder. Event values are
+// emitter handles, not AST pointers, so the evaluator is back-end agnostic.
 type tval struct {
 	none    bool
-	arr     []tval
 	isConst bool
+	hasEv   bool
+	hasNum  bool
+	ev      eref
+	num     nref
 	constV  event.Value
-	ev      event.Expr
-	num     event.NumExpr
+	arr     []tval
 }
 
 func constTV(v event.Value) tval { return tval{isConst: true, constV: v} }
 
-func boolTV(e event.Expr) tval { return tval{ev: e} }
+func boolTV(e eref) tval { return tval{hasEv: true, ev: e} }
 
-func numTV(n event.NumExpr) tval { return tval{num: n} }
+func numTV(n nref) tval { return tval{hasNum: true, num: n} }
 
 func noneTV() tval { return tval{none: true} }
 
-// boolExpr lifts the value to a Boolean event.
-func (v tval) boolExpr() (event.Expr, bool) {
-	if v.ev != nil {
+// boolRef lifts the value to a Boolean event handle.
+func (v tval) boolRef(em emitter) (eref, bool) {
+	if v.hasEv {
 		return v.ev, true
 	}
 	if v.isConst && v.constV.Kind == event.Boolean {
-		if v.constV.B {
-			return event.True, true
-		}
-		return event.False, true
+		return em.boolConst(v.constV.B), true
 	}
-	return nil, false
+	return 0, false
 }
 
-// numExpr lifts the value to a c-value.
-func (v tval) numExpr() (event.NumExpr, bool) {
-	if v.num != nil {
+// numRef lifts the value to a c-value handle.
+func (v tval) numRef(em emitter) (nref, bool) {
+	if v.hasNum {
 		return v.num, true
 	}
 	if v.isConst && v.constV.Kind != event.Boolean {
-		return event.NewConstNum(v.constV), true
+		return em.constNum(v.constV), true
 	}
-	return nil, false
+	return 0, false
 }
 
 func (v tval) constInt() (int, bool) {
@@ -224,8 +328,12 @@ func (f *frame) touch(sym string) {
 }
 
 type translator struct {
-	ext    External
-	prog   *event.Program
+	ext External
+	em  emitter
+	// decls enables the getLabel declaration machinery; the fused back end
+	// runs with it off — declarations never influence final bindings, only
+	// the event-program artifact.
+	decls  bool
 	vars   map[string]tval
 	labels map[string]*labelStack
 	frames []*frame
@@ -235,12 +343,12 @@ func (tr *translator) depth() int { return len(tr.frames) - 1 }
 
 // declare emits one event declaration under the label machinery.
 func (tr *translator) declare(label string, v tval) error {
-	if b, ok := v.boolExpr(); ok {
-		tr.prog.DeclareBool(label, b)
+	if b, ok := v.boolRef(tr.em); ok {
+		tr.em.declareBool(label, b)
 		return nil
 	}
-	if n, ok := v.numExpr(); ok {
-		tr.prog.DeclareNum(label, n)
+	if n, ok := v.numRef(tr.em); ok {
+		tr.em.declareNum(label, n)
 		return nil
 	}
 	return fmt.Errorf("translate: cannot declare %q: value has no event form", label)
@@ -250,6 +358,9 @@ func (tr *translator) declare(label string, v tval) error {
 // the labelled declaration and returning its label. Vector-valued and
 // placeholder values are tracked without declarations.
 func (tr *translator) assignSym(sym string, v tval) error {
+	if !tr.decls {
+		return nil
+	}
 	ls := tr.labels[sym]
 	d := tr.depth()
 	if ls == nil {
@@ -267,7 +378,7 @@ func (tr *translator) assignSym(sym string, v tval) error {
 	label := ls.render(sym)
 	ls.last = label
 	tr.frames[d].touch(sym)
-	if v.none || (v.ev == nil && v.num == nil && !v.isConst) {
+	if v.none || (!v.hasEv && !v.hasNum && !v.isConst) {
 		return nil
 	}
 	return tr.declare(label, v)
@@ -298,10 +409,18 @@ func (tr *translator) readAlign(sym string, v tval) error {
 
 // pushFrame opens a loop block; popFrame closes it, emitting the exit-copy
 // assignments that carry each touched symbol back to the parent block
-// (Example 3, lines I and J).
-func (tr *translator) pushFrame() { tr.frames = append(tr.frames, &frame{}) }
+// (Example 3, lines I and J). Both are no-ops on the fused path.
+func (tr *translator) pushFrame() {
+	if !tr.decls {
+		return
+	}
+	tr.frames = append(tr.frames, &frame{})
+}
 
 func (tr *translator) popFrame() error {
+	if !tr.decls {
+		return nil
+	}
 	d := tr.depth()
 	f := tr.frames[d]
 	tr.frames = tr.frames[:d]
