@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test test-short test-race vet fuzz-smoke fuzz bench bench-serve bench-compare alloc-guard obs-race smoke serve-smoke ci
+.PHONY: build test test-short test-race vet fuzz-smoke fuzz bench bench-serve bench-compare alloc-guard obs-race smoke serve-smoke worker-smoke bench-distributed ci
 
 build:
 	$(GO) build ./...
@@ -21,10 +21,11 @@ vet:
 # fuzz-smoke replays the committed corpora (runs as ordinary tests) and then
 # fuzzes each target briefly; quick enough for CI.
 fuzz-smoke:
-	$(GO) test ./internal/lang ./internal/difftest -run '^Fuzz'
+	$(GO) test ./internal/lang ./internal/difftest ./internal/dist -run '^Fuzz'
 	$(GO) test ./internal/lang -run '^$$' -fuzz '^FuzzLexer$$' -fuzztime 10s
 	$(GO) test ./internal/lang -run '^$$' -fuzz '^FuzzParser$$' -fuzztime 10s
 	$(GO) test ./internal/difftest -run '^$$' -fuzz '^FuzzPipeline$$' -fuzztime 10s
+	$(GO) test ./internal/dist -run '^$$' -fuzz '^FuzzFrame$$' -fuzztime 10s
 
 # fuzz runs the differential pipeline fuzzer for FUZZTIME (default 30s).
 fuzz:
@@ -72,4 +73,19 @@ smoke: build
 serve-smoke: build
 	$(GO) run ./cmd/loadgen -smoke
 
-ci: vet build test test-race obs-race alloc-guard smoke serve-smoke
+# worker-smoke spawns real `enframe worker` processes and requires marginals
+# shipped over TCP to be byte-identical to the in-process compile — once
+# against healthy workers and once with a worker killing itself mid-run
+# (DESIGN.md, "Distributed plane").
+worker-smoke: build
+	$(GO) run ./cmd/distbench -smoke
+
+# bench-distributed measures per-job busy times over a real worker process
+# and refreshes BENCH_distributed.json: virtual makespans for 1/2/4/8
+# workers from list-scheduling the measured job DAG (the single-CPU CI
+# container cannot show real multi-process scaling). Fails below ×1.5
+# virtual speedup at 4 workers.
+bench-distributed: build
+	$(GO) run ./cmd/distbench -out BENCH_distributed.json
+
+ci: vet build test test-race obs-race alloc-guard smoke serve-smoke worker-smoke bench-distributed

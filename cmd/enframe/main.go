@@ -90,12 +90,16 @@ var (
 	metricsFlag  = runFlags.Bool("metrics", false, "print the metrics registry after the run")
 	jsonFlag     = runFlags.Bool("json", false, "emit one JSON object on stdout instead of the table")
 	pprofFlag    = runFlags.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+
+	remoteFlag         = runFlags.String("remote", "", "comma-separated enframe worker addresses; ships compilation jobs to them (see 'enframe worker')")
+	remoteFallbackFlag = runFlags.Bool("remote-fallback", false, "with -remote: fall back to in-process execution if the worker plane fails")
 )
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: enframe [run] [flags]   compile a program over probabilistic data (default)
        enframe fuzz [flags]    replay the differential verification harness
        enframe serve [flags]   start the HTTP serving layer (SERVING.md)
+       enframe worker [flags]  start a distributed compilation worker (DESIGN.md)
 
 Run 'enframe <subcommand> -h' for subcommand flags.`)
 }
@@ -118,6 +122,8 @@ func main() {
 		err = runFuzz(args)
 	case "serve":
 		err = runServe(args)
+	case "worker":
+		err = runWorker(args)
 	case "help":
 		usage(os.Stdout)
 		return
@@ -171,6 +177,12 @@ func validateFlags(strategy prob.Strategy) error {
 	}
 	if *timeoutFlag < 0 {
 		return fmt.Errorf("flag -timeout: must be ≥ 0 (got %v)", *timeoutFlag)
+	}
+	if *remoteFallbackFlag && *remoteFlag == "" {
+		return fmt.Errorf("flag -remote-fallback: requires -remote")
+	}
+	if *remoteFlag != "" && *dumpFlag {
+		return fmt.Errorf("flag -remote: incompatible with -dump-events")
 	}
 	return nil
 }
@@ -262,7 +274,12 @@ func run() error {
 		return nil
 	}
 
-	rep, err := core.Run(spec)
+	var rep *core.Report
+	if *remoteFlag != "" {
+		rep, err = runRemote(source, strategy, tr)
+	} else {
+		rep, err = core.Run(spec)
+	}
 	tr.Finish()
 	if err != nil {
 		return err

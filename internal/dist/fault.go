@@ -1,0 +1,60 @@
+package dist
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// FaultPlan injects deterministic failures into a worker, counted over the
+// jobs the worker completes (1-based). Race-enabled tests and the worker
+// smoke harness use it to exercise reassignment, duplicate-tolerant merging,
+// and budget reclamation without relying on timing.
+type FaultPlan struct {
+	// KillAfterJobs > 0 kills the worker (closes its listener and every
+	// connection) immediately after it finishes that many jobs — the
+	// mid-stream death scenario: the result of the killing job is never
+	// sent.
+	KillAfterJobs int64
+	// DropEveryNth > 0 swallows the result of every Nth completed job while
+	// keeping the connection alive; the coordinator's job deadline must
+	// recover it.
+	DropEveryNth int64
+	// DelayEveryNth > 0 sleeps Delay before sending every Nth result.
+	DelayEveryNth int64
+	Delay         time.Duration
+	// OnKill, when set, runs once as the kill trigger fires (before the
+	// connections drop) — tests hook assertions here.
+	OnKill func()
+
+	jobs   atomic.Int64
+	killed atomic.Bool
+}
+
+// faultAction is the plan's verdict for one completed job.
+type faultAction uint8
+
+const (
+	faultNone faultAction = iota
+	faultDrop
+	faultKill
+)
+
+// next advances the completed-job counter and returns the action plus any
+// send delay. Nil plans act as no-ops.
+func (f *FaultPlan) next() (faultAction, time.Duration) {
+	if f == nil {
+		return faultNone, 0
+	}
+	n := f.jobs.Add(1)
+	var delay time.Duration
+	if f.DelayEveryNth > 0 && n%f.DelayEveryNth == 0 {
+		delay = f.Delay
+	}
+	if f.KillAfterJobs > 0 && n >= f.KillAfterJobs && f.killed.CompareAndSwap(false, true) {
+		return faultKill, delay
+	}
+	if f.DropEveryNth > 0 && n%f.DropEveryNth == 0 {
+		return faultDrop, delay
+	}
+	return faultNone, delay
+}

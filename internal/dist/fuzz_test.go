@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzFrame hardens the wire decoder: arbitrary bytes must decode into
+// either a valid frame or a typed error — never a panic, a hang, or an
+// oversized allocation. Valid frames must re-encode byte-identically.
+func FuzzFrame(f *testing.F) {
+	// Seed corpus: every message type with representative payloads, plus
+	// adversarial headers (checked into testdata/fuzz/FuzzFrame as well).
+	var seed bytes.Buffer
+	_ = WriteFrame(&seed, MsgHello, []byte(`{"version":1,"name":"coordinator"}`))
+	f.Add(seed.Bytes())
+	seed.Reset()
+	_ = WriteFrame(&seed, MsgJob, []byte(`{"session_key":"s","id":7,"path":[{"v":3,"b":true}],"p":0.5}`))
+	f.Add(seed.Bytes())
+	seed.Reset()
+	_ = WriteFrame(&seed, MsgResult, []byte(`{"id":7,"ok":true,"items":[{"k":0,"t":1,"m":0.25}]}`))
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{frameMagic[0]})
+	f.Add([]byte{frameMagic[0], frameMagic[1], ProtocolVersion, byte(MsgPing), 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{frameMagic[0], frameMagic[1], 99, byte(MsgPing), 0, 0, 0, 0})
+	f.Add([]byte("GET / HTTP/1.1\r\n\r\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		mt, payload, err := ReadFrame(r)
+		if err != nil {
+			if errors.Is(err, io.EOF) && len(data) > 0 {
+				// io.EOF is reserved for a clean close before any byte.
+				t.Fatalf("io.EOF leaked for non-empty partial frame (%d bytes)", len(data))
+			}
+			if err != io.EOF && !IsProtocolError(err) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if len(payload) > MaxFrameSize {
+			t.Fatalf("decoded payload of %d bytes exceeds cap", len(payload))
+		}
+		var buf bytes.Buffer
+		if werr := WriteFrame(&buf, mt, payload); werr != nil {
+			t.Fatalf("re-encode of valid frame failed: %v", werr)
+		}
+		consumed := len(data) - r.Len()
+		if !bytes.Equal(buf.Bytes(), data[:consumed]) {
+			t.Fatalf("re-encode not byte-identical: %x vs %x", buf.Bytes(), data[:consumed])
+		}
+	})
+}

@@ -1,0 +1,591 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"enframe/internal/obs"
+	"enframe/internal/prob"
+)
+
+// ErrNoWorkers is returned when every worker in a pool is dead. It wraps
+// prob.ErrExecutorUnavailable so prob.MultiExecutor (and the serving layer's
+// fallback policy) can classify it as a transport-level failure.
+var ErrNoWorkers = fmt.Errorf("dist: no live workers: %w", prob.ErrExecutorUnavailable)
+
+// PoolConfig configures a coordinator-side worker pool.
+type PoolConfig struct {
+	// Addrs lists worker TCP addresses. At least one must connect.
+	Addrs []string
+	// DialTimeout bounds the initial dial+handshake. Default 5s.
+	DialTimeout time.Duration
+	// HeartbeatEvery is the ping cadence per worker. Default 1s.
+	HeartbeatEvery time.Duration
+	// HeartbeatMiss is how many consecutive unanswered pings mark a worker
+	// dead. Default 3.
+	HeartbeatMiss int
+	// JobTimeout bounds one shipped job end to end; on expiry the job is
+	// retried (possibly on another worker). Zero disables. A dropped
+	// result frame is recovered by this deadline.
+	JobTimeout time.Duration
+	// MaxRetries is the per-job cap on transport-level retries. Default 3.
+	MaxRetries int
+	// RetryBackoff is the base backoff between retries (doubled each
+	// attempt). Default 50ms.
+	RetryBackoff time.Duration
+	// Reg, when non-nil, receives dist.* coordinator metrics.
+	Reg *obs.Registry
+	// Logf, when non-nil, receives pool diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Pool holds live connections to a set of workers and hands out
+// prob.JobExecutor sessions over them. Job shipping is fault tolerant:
+// worker death fails in-flight waiters with a retryable error, and the
+// executor reassigns the job to a surviving worker. Because workers execute
+// jobs deterministically against session-local state, re-execution after a
+// partial failure merges idempotently on the coordinator.
+type Pool struct {
+	cfg     PoolConfig
+	workers []*poolWorker
+	closed  atomic.Bool
+
+	mShipped    *obs.Counter
+	mRetries    *obs.Counter
+	mReassigned *obs.Counter
+	mOrphaned   *obs.Counter
+	mBytesSent  *obs.Counter
+	mBytesRecv  *obs.Counter
+}
+
+// poolWorker is one live worker connection plus its demultiplexing state.
+type poolWorker struct {
+	pool  *Pool
+	index int
+	addr  string
+	conn  net.Conn
+	slots int
+
+	alive    atomic.Bool
+	inflight atomic.Int64
+	misses   atomic.Int64
+	nextID   atomic.Uint64 // per-connection wire job IDs
+	pingN    atomic.Uint64
+
+	mu       sync.Mutex // guards writes, waiters, sessions
+	waiters  map[uint64]chan poolReply
+	sessions map[string]*loadState
+
+	gAlive    *obs.Gauge
+	gInflight *obs.Gauge
+	mJobs     *obs.Counter
+
+	done chan struct{} // closed when the reader exits
+}
+
+type poolReply struct {
+	msg *resultMsg
+	err error
+}
+
+// loadState is the per-worker singleflight for loading one session.
+type loadState struct {
+	once sync.Once
+	done chan struct{}
+	err  error
+}
+
+// finish resolves the singleflight exactly once.
+func (ls *loadState) finish(err error) {
+	ls.once.Do(func() {
+		ls.err = err
+		close(ls.done)
+	})
+}
+
+// NewPool dials every address and performs the protocol handshake. It fails
+// only if no worker connects; partial pools degrade gracefully. A version
+// mismatch anywhere fails the whole pool with a typed *VersionError — mixed
+// protocol revisions are a deployment error worth surfacing loudly.
+func NewPool(ctx context.Context, cfg PoolConfig) (*Pool, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("dist: pool needs at least one worker address")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = time.Second
+	}
+	if cfg.HeartbeatMiss <= 0 {
+		cfg.HeartbeatMiss = 3
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	p := &Pool{cfg: cfg}
+	if cfg.Reg != nil {
+		p.mShipped = cfg.Reg.Counter("dist.jobs.shipped")
+		p.mRetries = cfg.Reg.Counter("dist.jobs.retries")
+		p.mReassigned = cfg.Reg.Counter("dist.jobs.reassigned")
+		p.mOrphaned = cfg.Reg.Counter("dist.results.orphaned")
+		p.mBytesSent = cfg.Reg.Counter("dist.bytes.sent")
+		p.mBytesRecv = cfg.Reg.Counter("dist.bytes.recv")
+	}
+
+	var dialErrs []error
+	for i, addr := range cfg.Addrs {
+		w, err := p.dial(ctx, i, addr)
+		if err != nil {
+			var ve *VersionError
+			if errors.As(err, &ve) {
+				p.Close()
+				return nil, err
+			}
+			dialErrs = append(dialErrs, err)
+			p.logf("worker %s: %v", addr, err)
+			continue
+		}
+		p.workers = append(p.workers, w)
+	}
+	if len(p.workers) == 0 {
+		return nil, fmt.Errorf("dist: no workers reachable: %w: %w",
+			prob.ErrExecutorUnavailable, errors.Join(dialErrs...))
+	}
+	for _, w := range p.workers {
+		go w.readLoop()
+		go w.heartbeat()
+	}
+	return p, nil
+}
+
+func (p *Pool) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}
+
+// dial connects and handshakes with one worker.
+func (p *Pool) dial(ctx context.Context, index int, addr string) (*poolWorker, error) {
+	dctx, cancel := context.WithTimeout(ctx, p.cfg.DialTimeout)
+	defer cancel()
+	var d net.Dialer
+	conn, err := d.DialContext(dctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial: %w", err)
+	}
+	deadline := time.Now().Add(p.cfg.DialTimeout)
+	conn.SetDeadline(deadline)
+	if err := WriteFrame(conn, MsgHello, encode(helloMsg{Version: ProtocolVersion, Name: "coordinator"})); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	t, payload, err := ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if t == MsgError {
+		var em errorMsg
+		_ = json.Unmarshal(payload, &em)
+		conn.Close()
+		if em.Code == "version" {
+			return nil, &VersionError{Got: uint8(em.Version), Want: ProtocolVersion}
+		}
+		return nil, fmt.Errorf("dist: worker %s rejected handshake: %s", addr, em.Msg)
+	}
+	if t != MsgHelloAck {
+		conn.Close()
+		return nil, &FrameError{Op: "handshake", Err: fmt.Errorf("unexpected %v frame", t)}
+	}
+	var ack helloAckMsg
+	if err := decode(payload, &ack); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	w := &poolWorker{
+		pool: p, index: index, addr: addr, conn: conn, slots: ack.Slots,
+		waiters:  map[uint64]chan poolReply{},
+		sessions: map[string]*loadState{},
+		done:     make(chan struct{}),
+	}
+	if ack.Slots <= 0 {
+		w.slots = 1
+	}
+	w.alive.Store(true)
+	if p.cfg.Reg != nil {
+		w.gAlive = p.cfg.Reg.Gauge(fmt.Sprintf("dist.worker.%d.alive", index))
+		w.gInflight = p.cfg.Reg.Gauge(fmt.Sprintf("dist.worker.%d.inflight", index))
+		w.mJobs = p.cfg.Reg.Counter(fmt.Sprintf("dist.worker.%d.jobs_shipped", index))
+	}
+	w.gAlive.Set(1)
+	p.logf("worker %d (%s) connected, %d slots", index, addr, w.slots)
+	return w, nil
+}
+
+// AliveWorkers counts workers currently considered live.
+func (p *Pool) AliveWorkers() int {
+	n := 0
+	for _, w := range p.workers {
+		if w.alive.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Close tears down every connection.
+func (p *Pool) Close() error {
+	if !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, w := range p.workers {
+		w.markDead(errClosedPool)
+	}
+	return nil
+}
+
+// send writes one frame on the worker connection (serialised).
+func (w *poolWorker) send(t MsgType, payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pool.mBytesSent.Add(int64(headerSize + len(payload)))
+	if err := WriteFrame(w.conn, t, payload); err != nil {
+		return fmt.Errorf("dist: worker %s: %w: %w", w.addr, prob.ErrExecutorUnavailable, err)
+	}
+	return nil
+}
+
+// readLoop demultiplexes incoming frames to waiters until the connection
+// breaks, then marks the worker dead (failing all waiters retryably).
+func (w *poolWorker) readLoop() {
+	defer close(w.done)
+	for {
+		t, payload, err := ReadFrame(w.conn)
+		if err != nil {
+			w.markDead(err)
+			return
+		}
+		w.pool.mBytesRecv.Add(int64(headerSize + len(payload)))
+		switch t {
+		case MsgPong:
+			w.misses.Store(0)
+		case MsgResult:
+			var rm resultMsg
+			if err := decode(payload, &rm); err != nil {
+				w.markDead(err)
+				return
+			}
+			w.deliver(rm.ID, poolReply{msg: &rm})
+		case MsgLoadAck:
+			var am loadAckMsg
+			if err := decode(payload, &am); err != nil {
+				w.markDead(err)
+				return
+			}
+			w.finishLoad(am)
+		case MsgError:
+			var em errorMsg
+			_ = json.Unmarshal(payload, &em)
+			w.markDead(fmt.Errorf("dist: worker %s error: %s (%s)", w.addr, em.Msg, em.Code))
+			return
+		default:
+			w.markDead(&FrameError{Op: "demux", Err: fmt.Errorf("unexpected %v frame", t)})
+			return
+		}
+	}
+}
+
+// deliver routes one result to its waiter; results for jobs nobody waits on
+// (late arrivals after a timeout-driven reassignment) are counted and
+// dropped — the coordinator merge is duplicate tolerant by construction, but
+// dropping here keeps even the transport exactly-once.
+func (w *poolWorker) deliver(id uint64, r poolReply) {
+	w.mu.Lock()
+	ch, ok := w.waiters[id]
+	delete(w.waiters, id)
+	w.mu.Unlock()
+	if !ok {
+		w.pool.mOrphaned.Add(1)
+		w.pool.logf("worker %s: orphaned result for wire job %d", w.addr, id)
+		return
+	}
+	ch <- r // buffered
+}
+
+// heartbeat pings on a fixed cadence and kills the worker after too many
+// consecutive unanswered pings.
+func (w *poolWorker) heartbeat() {
+	ticker := time.NewTicker(w.pool.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-ticker.C:
+			if !w.alive.Load() {
+				return
+			}
+			if w.misses.Add(1) > int64(w.pool.cfg.HeartbeatMiss) {
+				w.markDead(fmt.Errorf("dist: worker %s missed %d heartbeats", w.addr, w.pool.cfg.HeartbeatMiss))
+				return
+			}
+			n := w.pingN.Add(1)
+			if err := w.send(MsgPing, encode(pingMsg{Nonce: n})); err != nil {
+				w.markDead(err)
+				return
+			}
+		}
+	}
+}
+
+// markDead transitions the worker to dead exactly once: the connection
+// closes, every waiter fails with a retryable transport error, and pending
+// session loads fail so future sessions re-resolve elsewhere.
+func (w *poolWorker) markDead(cause error) {
+	if !w.alive.CompareAndSwap(true, false) {
+		return
+	}
+	w.gAlive.Set(0)
+	if !errors.Is(cause, errClosedPool) {
+		w.pool.logf("worker %d (%s) dead: %v", w.index, w.addr, cause)
+	}
+	w.conn.Close()
+	err := fmt.Errorf("dist: worker %s died: %w: %w", w.addr, prob.ErrExecutorUnavailable, cause)
+	w.mu.Lock()
+	waiters := w.waiters
+	w.waiters = map[uint64]chan poolReply{}
+	sessions := w.sessions
+	w.sessions = map[string]*loadState{}
+	w.mu.Unlock()
+	for _, ch := range waiters {
+		ch <- poolReply{err: err}
+	}
+	for _, ls := range sessions {
+		ls.finish(err)
+	}
+}
+
+var errClosedPool = errors.New("pool closed")
+
+// Session binds a compilation session across the pool and returns the
+// executor that ships its jobs. specJSON must resolve (via each worker's
+// ResolveFunc) to the artifact named by artifactKey. Sessions load lazily
+// per worker on first dispatch, so workers that join a session late (after
+// a reassignment) still resolve it.
+func (p *Pool) Session(artifactKey string, specJSON []byte, wo WireOpts) *PoolExecutor {
+	return &PoolExecutor{
+		pool:       p,
+		sessionKey: SessionKey(artifactKey, wo),
+		load: loadMsg{
+			SessionKey:  SessionKey(artifactKey, wo),
+			ArtifactKey: artifactKey,
+			Spec:        specJSON,
+			Opts:        wo,
+		},
+	}
+}
+
+// PoolExecutor is prob.JobExecutor over a worker pool for one session.
+type PoolExecutor struct {
+	pool       *Pool
+	sessionKey string
+	load       loadMsg
+}
+
+// Slots sums the capacity of live workers.
+func (e *PoolExecutor) Slots() int {
+	n := 0
+	for _, w := range e.pool.workers {
+		if w.alive.Load() {
+			n += w.slots
+		}
+	}
+	return n
+}
+
+// pick selects the live worker with the most free capacity, excluding the
+// previous attempt's worker when alternatives exist (reassignment).
+func (e *PoolExecutor) pick(exclude *poolWorker) *poolWorker {
+	var best *poolWorker
+	var bestFree int64
+	for _, w := range e.pool.workers {
+		if !w.alive.Load() || w == exclude {
+			continue
+		}
+		free := int64(w.slots) - w.inflight.Load()
+		if best == nil || free > bestFree {
+			best, bestFree = w, free
+		}
+	}
+	if best == nil && exclude != nil && exclude.alive.Load() {
+		return exclude // sole survivor: retry in place
+	}
+	return best
+}
+
+// ExecuteJob ships one job, retrying with backoff and reassignment across
+// workers on transport failures. Execution errors reported by a worker are
+// permanent; only transport-level failures (death, timeout, dropped result)
+// retry. Re-execution is safe: jobs are deterministic and the coordinator
+// merge consumes exactly one result per job.
+func (e *PoolExecutor) ExecuteJob(ctx context.Context, j *prob.WireJob) (*prob.WireResult, error) {
+	var last *poolWorker
+	var lastErr error
+	for attempt := 0; attempt <= e.pool.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			e.pool.mRetries.Add(1)
+			backoff := e.pool.cfg.RetryBackoff << (attempt - 1)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		w := e.pick(last)
+		if w == nil {
+			return nil, ErrNoWorkers
+		}
+		if last != nil && w != last {
+			e.pool.mReassigned.Add(1)
+			e.pool.logf("job %d reassigned %s -> %s", j.ID, last.addr, w.addr)
+		}
+		res, err := e.runOn(ctx, w, j)
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !errors.Is(err, prob.ErrExecutorUnavailable) {
+			return nil, err // permanent: the job itself failed
+		}
+		last, lastErr = w, err
+	}
+	return nil, fmt.Errorf("dist: job %d failed after %d attempts: %w", j.ID, e.pool.cfg.MaxRetries+1, lastErr)
+}
+
+// runOn executes one attempt on one worker.
+func (e *PoolExecutor) runOn(ctx context.Context, w *poolWorker, j *prob.WireJob) (*prob.WireResult, error) {
+	if err := e.ensureLoaded(ctx, w); err != nil {
+		return nil, err
+	}
+
+	wireID := w.nextID.Add(1)
+	ch := make(chan poolReply, 1)
+	w.mu.Lock()
+	if !w.alive.Load() {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("dist: worker %s died: %w", w.addr, prob.ErrExecutorUnavailable)
+	}
+	w.waiters[wireID] = ch
+	w.mu.Unlock()
+	w.inflight.Add(1)
+	w.gInflight.Set(float64(w.inflight.Load()))
+	defer func() {
+		w.inflight.Add(-1)
+		w.gInflight.Set(float64(w.inflight.Load()))
+	}()
+
+	// Wire IDs are per-connection; the worker echoes ours back, and the
+	// result is restored to the coordinator's job ID on receipt.
+	jm := toJobMsg(e.sessionKey, j)
+	jm.ID = wireID
+	if err := w.send(MsgJob, encode(jm)); err != nil {
+		w.forget(wireID)
+		return nil, err
+	}
+	e.pool.mShipped.Add(1)
+	w.mJobs.Add(1)
+
+	var timeoutCh <-chan time.Time
+	if e.pool.cfg.JobTimeout > 0 {
+		timer := time.NewTimer(e.pool.cfg.JobTimeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, r.err
+		}
+		if !r.msg.OK {
+			return nil, fmt.Errorf("dist: worker %s: job failed: %s", w.addr, r.msg.Err)
+		}
+		res, err := r.msg.result()
+		if err != nil {
+			return nil, err
+		}
+		res.ID = j.ID
+		return res, nil
+	case <-timeoutCh:
+		w.forget(wireID)
+		return nil, fmt.Errorf("dist: worker %s: job deadline exceeded: %w", w.addr, prob.ErrExecutorUnavailable)
+	case <-ctx.Done():
+		w.forget(wireID)
+		return nil, ctx.Err()
+	}
+}
+
+// forget abandons a waiter; a result arriving later is counted as orphaned.
+func (w *poolWorker) forget(id uint64) {
+	w.mu.Lock()
+	delete(w.waiters, id)
+	w.mu.Unlock()
+}
+
+// ensureLoaded makes sure the worker holds this session, singleflighting the
+// load per (worker, session).
+func (e *PoolExecutor) ensureLoaded(ctx context.Context, w *poolWorker) error {
+	w.mu.Lock()
+	ls, ok := w.sessions[e.sessionKey]
+	if !ok {
+		ls = &loadState{done: make(chan struct{})}
+		w.sessions[e.sessionKey] = ls
+	}
+	w.mu.Unlock()
+	if !ok {
+		if err := w.send(MsgLoad, encode(e.load)); err != nil {
+			w.mu.Lock()
+			delete(w.sessions, e.sessionKey)
+			w.mu.Unlock()
+			ls.finish(err)
+			return err
+		}
+	}
+	select {
+	case <-ls.done:
+		return ls.err
+	case <-w.done:
+		return fmt.Errorf("dist: worker %s died during load: %w", w.addr, prob.ErrExecutorUnavailable)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// finishLoad resolves the singleflight for one load ack.
+func (w *poolWorker) finishLoad(am loadAckMsg) {
+	w.mu.Lock()
+	ls := w.sessions[am.SessionKey]
+	w.mu.Unlock()
+	if ls == nil {
+		return
+	}
+	if am.Err != "" {
+		// A load failure is permanent for this session: the spec does not
+		// resolve. Do not wrap as retryable.
+		ls.finish(fmt.Errorf("dist: worker %s: load session: %s", w.addr, am.Err))
+		return
+	}
+	ls.finish(nil)
+}

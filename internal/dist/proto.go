@@ -1,0 +1,301 @@
+package dist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"enframe/internal/event"
+	"enframe/internal/prob"
+)
+
+// Message payloads are JSON inside binary frames: control traffic is tiny,
+// and Go's JSON encoder emits shortest-round-trip float64 literals, so
+// probability masses survive the wire bit-exactly — the property the
+// coordinator's ordered merge depends on.
+
+type helloMsg struct {
+	Version int    `json:"version"`
+	Name    string `json:"name,omitempty"`
+}
+
+type helloAckMsg struct {
+	Version int `json:"version"`
+	// Slots is the worker's parallel job capacity.
+	Slots int `json:"slots"`
+}
+
+// WireOpts is the subset of prob.Options a session fixes on the worker.
+// Variable orders are not shipped: order computation is deterministic, so
+// both sides derive the identical order from the heuristic.
+type WireOpts struct {
+	Strategy     string  `json:"strategy"`
+	Epsilon      float64 `json:"epsilon,omitempty"`
+	JobDepth     int     `json:"job_depth"`
+	Heuristic    string  `json:"heuristic"`
+	SkipDisabled bool    `json:"skip_disabled,omitempty"`
+	Slack        float64 `json:"slack,omitempty"`
+	TimeoutNs    int64   `json:"timeout_ns,omitempty"`
+}
+
+// FromOptions projects compile options onto the wire form.
+func FromOptions(o prob.Options) WireOpts {
+	h := "fanout"
+	if o.Heuristic == prob.InputOrder {
+		h = "input"
+	}
+	return WireOpts{
+		Strategy:     o.Strategy.String(),
+		Epsilon:      o.Epsilon,
+		JobDepth:     o.JobDepth,
+		Heuristic:    h,
+		SkipDisabled: o.SkipDisabled,
+		Slack:        o.Slack,
+		TimeoutNs:    int64(o.Timeout),
+	}
+}
+
+// Options reconstitutes compile options worker-side.
+func (wo WireOpts) Options() (prob.Options, error) {
+	var strat prob.Strategy
+	switch wo.Strategy {
+	case "exact":
+		strat = prob.Exact
+	case "eager":
+		strat = prob.Eager
+	case "lazy":
+		strat = prob.Lazy
+	case "hybrid":
+		strat = prob.Hybrid
+	default:
+		return prob.Options{}, fmt.Errorf("dist: unknown strategy %q", wo.Strategy)
+	}
+	var h prob.OrderHeuristic
+	switch wo.Heuristic {
+	case "fanout", "":
+		h = prob.FanoutOrder
+	case "input":
+		h = prob.InputOrder
+	default:
+		return prob.Options{}, fmt.Errorf("dist: unknown heuristic %q", wo.Heuristic)
+	}
+	return prob.Options{
+		Strategy:     strat,
+		Epsilon:      wo.Epsilon,
+		JobDepth:     wo.JobDepth,
+		Heuristic:    h,
+		SkipDisabled: wo.SkipDisabled,
+		Slack:        wo.Slack,
+		Timeout:      time.Duration(wo.TimeoutNs),
+	}, nil
+}
+
+// SessionKey derives the worker-side session cache key: the artifact content
+// hash plus a fingerprint of the fixed compile options.
+func SessionKey(artifactKey string, wo WireOpts) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%g\x00%d\x00%s\x00%t\x00%g",
+		artifactKey, wo.Strategy, wo.Epsilon, wo.JobDepth, wo.Heuristic,
+		wo.SkipDisabled, wo.Slack)
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+type loadMsg struct {
+	SessionKey  string `json:"session_key"`
+	ArtifactKey string `json:"artifact_key"`
+	// Spec is the artifact-identifying request (the server.RunRequest JSON
+	// shape with per-request fields stripped); the worker resolves it
+	// through its injected resolver and verifies the content hash matches
+	// ArtifactKey.
+	Spec json.RawMessage `json:"spec"`
+	Opts WireOpts        `json:"opts"`
+}
+
+type loadAckMsg struct {
+	SessionKey string `json:"session_key"`
+	Targets    int    `json:"targets,omitempty"`
+	Err        string `json:"err,omitempty"`
+}
+
+type wireAssign struct {
+	V uint32 `json:"v"`
+	B bool   `json:"b,omitempty"`
+}
+
+type jobMsg struct {
+	SessionKey string       `json:"session_key"`
+	ID         uint64       `json:"id"`
+	Path       []wireAssign `json:"path,omitempty"`
+	OI         int          `json:"oi,omitempty"`
+	P          float64      `json:"p"`
+	E          []float64    `json:"e,omitempty"`
+	TimeoutNs  int64        `json:"timeout_ns,omitempty"`
+}
+
+type wireItem struct {
+	K uint8   `json:"k"` // 0 add, 1 fork
+	T int32   `json:"t,omitempty"`
+	B bool    `json:"b,omitempty"`
+	F int32   `json:"f,omitempty"`
+	M float64 `json:"m,omitempty"`
+}
+
+type wireFork struct {
+	Path []wireAssign `json:"path,omitempty"`
+	OI   int          `json:"oi,omitempty"`
+	P    float64      `json:"p"`
+	E    []float64    `json:"e,omitempty"`
+}
+
+type wireStats struct {
+	Branches     int64 `json:"branches,omitempty"`
+	Assignments  int64 `json:"assignments,omitempty"`
+	MaskUpdates  int64 `json:"mask_updates,omitempty"`
+	BudgetPrunes int64 `json:"budget_prunes,omitempty"`
+	MaxDepth     int64 `json:"max_depth,omitempty"`
+	DurNanos     int64 `json:"dur_ns,omitempty"`
+}
+
+type resultMsg struct {
+	ID       uint64     `json:"id"`
+	OK       bool       `json:"ok"`
+	Err      string     `json:"err,omitempty"`
+	TimedOut bool       `json:"timed_out,omitempty"`
+	Items    []wireItem `json:"items,omitempty"`
+	Forks    []wireFork `json:"forks,omitempty"`
+	Residual []float64  `json:"residual,omitempty"`
+	Stats    wireStats  `json:"stats"`
+}
+
+type pingMsg struct {
+	Nonce uint64 `json:"nonce"`
+}
+
+type errorMsg struct {
+	Code    string `json:"code"`
+	Msg     string `json:"msg,omitempty"`
+	Version int    `json:"version,omitempty"`
+}
+
+func toWireAssigns(path []prob.Assign) []wireAssign {
+	if len(path) == 0 {
+		return nil
+	}
+	out := make([]wireAssign, len(path))
+	for i, a := range path {
+		out[i] = wireAssign{V: uint32(a.Var), B: a.Val}
+	}
+	return out
+}
+
+func fromWireAssigns(path []wireAssign) []prob.Assign {
+	if len(path) == 0 {
+		return nil
+	}
+	out := make([]prob.Assign, len(path))
+	for i, a := range path {
+		out[i] = prob.Assign{Var: event.VarID(a.V), Val: a.B}
+	}
+	return out
+}
+
+func toJobMsg(sessionKey string, j *prob.WireJob) jobMsg {
+	return jobMsg{
+		SessionKey: sessionKey,
+		ID:         j.ID,
+		Path:       toWireAssigns(j.Path),
+		OI:         j.OI,
+		P:          j.P,
+		E:          j.E,
+		TimeoutNs:  int64(j.Timeout),
+	}
+}
+
+func (m jobMsg) job() *prob.WireJob {
+	return &prob.WireJob{
+		ID:      m.ID,
+		Path:    fromWireAssigns(m.Path),
+		OI:      m.OI,
+		P:       m.P,
+		E:       m.E,
+		Timeout: time.Duration(m.TimeoutNs),
+	}
+}
+
+func toResultMsg(res *prob.WireResult) resultMsg {
+	m := resultMsg{
+		ID: res.ID, OK: true, TimedOut: res.TimedOut, Residual: res.Residual,
+		Stats: wireStats{
+			Branches:     res.Stats.Branches,
+			Assignments:  res.Stats.Assignments,
+			MaskUpdates:  res.Stats.MaskUpdates,
+			BudgetPrunes: res.Stats.BudgetPrunes,
+			MaxDepth:     res.Stats.MaxDepth,
+			DurNanos:     res.Stats.DurNanos,
+		},
+	}
+	if len(res.Items) > 0 {
+		m.Items = make([]wireItem, len(res.Items))
+		for i, it := range res.Items {
+			m.Items[i] = wireItem{K: uint8(it.Kind), T: it.Target, B: it.IsTrue, F: it.Fork, M: it.Mass}
+		}
+	}
+	if len(res.Forks) > 0 {
+		m.Forks = make([]wireFork, len(res.Forks))
+		for i, f := range res.Forks {
+			m.Forks[i] = wireFork{Path: toWireAssigns(f.Path), OI: f.OI, P: f.P, E: f.E}
+		}
+	}
+	return m
+}
+
+func (m *resultMsg) result() (*prob.WireResult, error) {
+	res := &prob.WireResult{
+		ID: m.ID, TimedOut: m.TimedOut, Residual: m.Residual,
+		Stats: prob.JobStats{
+			Branches:     m.Stats.Branches,
+			Assignments:  m.Stats.Assignments,
+			MaskUpdates:  m.Stats.MaskUpdates,
+			BudgetPrunes: m.Stats.BudgetPrunes,
+			MaxDepth:     m.Stats.MaxDepth,
+			DurNanos:     m.Stats.DurNanos,
+		},
+	}
+	if len(m.Items) > 0 {
+		res.Items = make([]prob.WireItem, len(m.Items))
+		for i, it := range m.Items {
+			if it.K > uint8(prob.ItemFork) {
+				return nil, fmt.Errorf("dist: result %d: unknown item kind %d", m.ID, it.K)
+			}
+			if it.K == uint8(prob.ItemFork) && (it.F < 0 || int(it.F) >= len(m.Forks)) {
+				return nil, fmt.Errorf("dist: result %d: fork index %d out of range", m.ID, it.F)
+			}
+			res.Items[i] = prob.WireItem{Kind: prob.ItemKind(it.K), Target: it.T, IsTrue: it.B, Fork: it.F, Mass: it.M}
+		}
+	}
+	if len(m.Forks) > 0 {
+		res.Forks = make([]prob.WireFork, len(m.Forks))
+		for i, f := range m.Forks {
+			res.Forks[i] = prob.WireFork{Path: fromWireAssigns(f.Path), OI: f.OI, P: f.P, E: f.E}
+		}
+	}
+	return res, nil
+}
+
+// encode marshals a payload; marshal failures are programming errors.
+func encode(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("dist: encode: %v", err))
+	}
+	return b
+}
+
+func decode(b []byte, v any) error {
+	if err := json.Unmarshal(b, v); err != nil {
+		return &FrameError{Op: "decode payload", Err: err}
+	}
+	return nil
+}

@@ -1,0 +1,379 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"enframe/internal/core"
+	"enframe/internal/obs"
+	"enframe/internal/prob"
+)
+
+// ResolveFunc turns a load message's spec payload into the core.Spec it
+// denotes plus its artifact content hash. cmd/enframe injects the server's
+// request resolver here, keeping dist free of a server dependency.
+type ResolveFunc func(specJSON []byte) (core.Spec, string, error)
+
+// WorkerConfig configures one worker process (or in-process worker, as the
+// tests use).
+type WorkerConfig struct {
+	// Resolver materialises artifacts from shipped specs. Required.
+	Resolver ResolveFunc
+	// Slots is the worker's parallel job capacity, advertised in the
+	// handshake. Default GOMAXPROCS.
+	Slots int
+	// MaxSessions bounds the session cache; the oldest session is evicted
+	// beyond it. Default 8.
+	MaxSessions int
+	// Reg, when non-nil, receives dist.worker.* metrics.
+	Reg *obs.Registry
+	// Fault, when non-nil, injects deterministic failures (tests only).
+	Fault *FaultPlan
+	// Logf, when non-nil, receives worker diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Worker executes jobs shipped by coordinators. One worker serves any number
+// of connections and sessions concurrently.
+type Worker struct {
+	cfg WorkerConfig
+	ln  net.Listener
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	sessions map[string]*workerSession
+	sessAge  []string // insertion order for eviction
+	closed   atomic.Bool
+
+	wg sync.WaitGroup
+
+	mJobs     *obs.Counter
+	mSessions *obs.Counter
+	mBytesIn  *obs.Counter
+	mBytesOut *obs.Counter
+}
+
+type workerSession struct {
+	once sync.Once
+	sess *prob.Session
+	err  error
+}
+
+// NewWorker builds a worker; Listen binds it.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Resolver == nil {
+		return nil, errors.New("dist: worker needs a Resolver")
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 8
+	}
+	w := &Worker{
+		cfg:      cfg,
+		conns:    map[net.Conn]struct{}{},
+		sessions: map[string]*workerSession{},
+	}
+	if cfg.Reg != nil {
+		w.mJobs = cfg.Reg.Counter("dist.worker.jobs")
+		w.mSessions = cfg.Reg.Counter("dist.worker.sessions")
+		w.mBytesIn = cfg.Reg.Counter("dist.worker.bytes.recv")
+		w.mBytesOut = cfg.Reg.Counter("dist.worker.bytes.sent")
+	}
+	return w, nil
+}
+
+// Listen binds the worker to addr (":0" picks an ephemeral port).
+func (w *Worker) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dist: listen %s: %w", addr, err)
+	}
+	w.ln = ln
+	return nil
+}
+
+// Addr returns the bound address (empty before Listen).
+func (w *Worker) Addr() string {
+	if w.ln == nil {
+		return ""
+	}
+	return w.ln.Addr().String()
+}
+
+// Serve accepts coordinator connections until Close. It returns nil after a
+// clean Close.
+func (w *Worker) Serve() error {
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			if w.closed.Load() {
+				return nil
+			}
+			return fmt.Errorf("dist: accept: %w", err)
+		}
+		w.mu.Lock()
+		if w.closed.Load() {
+			w.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		w.conns[conn] = struct{}{}
+		w.mu.Unlock()
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			w.serveConn(conn)
+		}()
+	}
+}
+
+// Close kills the worker: the listener and every live connection drop
+// immediately (in-flight jobs are abandoned), which is also how the fault
+// plan's kill trigger simulates a crash.
+func (w *Worker) Close() error {
+	if !w.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var err error
+	if w.ln != nil {
+		err = w.ln.Close()
+	}
+	w.mu.Lock()
+	for c := range w.conns {
+		c.Close()
+	}
+	w.mu.Unlock()
+	w.wg.Wait()
+	return err
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// connWriter serialises frame writes from the per-job goroutines.
+type connWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+	out  *obs.Counter
+}
+
+func (cw *connWriter) send(t MsgType, payload []byte) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	cw.out.Add(int64(headerSize + len(payload)))
+	return WriteFrame(cw.conn, t, payload)
+}
+
+// serveConn runs one coordinator connection: handshake, then a read loop
+// that answers pings inline and executes load/job requests on bounded
+// goroutines.
+func (w *Worker) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		w.mu.Lock()
+		delete(w.conns, conn)
+		w.mu.Unlock()
+	}()
+	cw := &connWriter{conn: conn, out: w.mBytesOut}
+
+	// Handshake: the coordinator speaks first. A version mismatch is
+	// reported with MsgError (best effort) before closing, so the peer
+	// fails with a typed VersionError instead of a hang.
+	t, payload, err := ReadFrame(conn)
+	if err != nil {
+		var ve *VersionError
+		if errors.As(err, &ve) {
+			_ = cw.send(MsgError, encode(errorMsg{Code: "version", Version: ProtocolVersion,
+				Msg: fmt.Sprintf("worker speaks v%d", ProtocolVersion)}))
+		}
+		w.logf("handshake: %v", err)
+		return
+	}
+	w.mBytesIn.Add(int64(headerSize + len(payload)))
+	if t != MsgHello {
+		w.logf("handshake: expected hello, got %v", t)
+		return
+	}
+	var hello helloMsg
+	if err := decode(payload, &hello); err != nil {
+		w.logf("handshake: %v", err)
+		return
+	}
+	if hello.Version != ProtocolVersion {
+		_ = cw.send(MsgError, encode(errorMsg{Code: "version", Version: ProtocolVersion,
+			Msg: fmt.Sprintf("worker speaks v%d", ProtocolVersion)}))
+		return
+	}
+	if err := cw.send(MsgHelloAck, encode(helloAckMsg{Version: ProtocolVersion, Slots: w.cfg.Slots})); err != nil {
+		return
+	}
+
+	// jobSlots bounds concurrent job execution per connection. The defers
+	// run cancel before Wait, so in-flight jobs see the cancellation as
+	// soon as the read loop exits.
+	jobSlots := make(chan struct{}, w.cfg.Slots)
+	var jobs sync.WaitGroup
+	defer jobs.Wait()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	for {
+		t, payload, err := ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !w.closed.Load() {
+				w.logf("read: %v", err)
+			}
+			return
+		}
+		w.mBytesIn.Add(int64(headerSize + len(payload)))
+		switch t {
+		case MsgPing:
+			if err := cw.send(MsgPong, payload); err != nil {
+				return
+			}
+		case MsgLoad:
+			var lm loadMsg
+			if err := decode(payload, &lm); err != nil {
+				w.logf("load: %v", err)
+				return
+			}
+			jobs.Add(1)
+			go func() {
+				defer jobs.Done()
+				ack := w.loadSession(lm)
+				_ = cw.send(MsgLoadAck, encode(ack))
+			}()
+		case MsgJob:
+			var jm jobMsg
+			if err := decode(payload, &jm); err != nil {
+				w.logf("job: %v", err)
+				return
+			}
+			jobs.Add(1)
+			go func() {
+				defer jobs.Done()
+				select {
+				case jobSlots <- struct{}{}:
+					defer func() { <-jobSlots }()
+				case <-ctx.Done():
+					return
+				}
+				w.runJob(ctx, cw, jm)
+			}()
+		default:
+			w.logf("unexpected frame %v", t)
+			return
+		}
+	}
+}
+
+// loadSession resolves (or reuses) the session named by the load message.
+func (w *Worker) loadSession(lm loadMsg) loadAckMsg {
+	w.mu.Lock()
+	ws, ok := w.sessions[lm.SessionKey]
+	if !ok {
+		ws = &workerSession{}
+		w.sessions[lm.SessionKey] = ws
+		w.sessAge = append(w.sessAge, lm.SessionKey)
+		for len(w.sessAge) > w.cfg.MaxSessions {
+			evict := w.sessAge[0]
+			w.sessAge = w.sessAge[1:]
+			delete(w.sessions, evict)
+		}
+	}
+	w.mu.Unlock()
+
+	ws.once.Do(func() {
+		ws.err = func() error {
+			spec, key, err := w.cfg.Resolver(lm.Spec)
+			if err != nil {
+				return fmt.Errorf("resolve spec: %w", err)
+			}
+			if key != lm.ArtifactKey {
+				return fmt.Errorf("artifact key mismatch: resolved %s, coordinator sent %s", key, lm.ArtifactKey)
+			}
+			opts, err := lm.Opts.Options()
+			if err != nil {
+				return err
+			}
+			art, err := core.PrepareContext(context.Background(), spec)
+			if err != nil {
+				return fmt.Errorf("prepare: %w", err)
+			}
+			opts.Order = art.Order(opts.Heuristic)
+			sess, err := prob.NewSession(art.Net, opts)
+			if err != nil {
+				return fmt.Errorf("session: %w", err)
+			}
+			ws.sess = sess
+			w.mSessions.Add(1)
+			w.logf("session %s loaded (artifact %.12s, %d targets)", lm.SessionKey, lm.ArtifactKey, sess.Targets())
+			return nil
+		}()
+	})
+	ack := loadAckMsg{SessionKey: lm.SessionKey}
+	if ws.err != nil {
+		ack.Err = ws.err.Error()
+		return ack
+	}
+	ack.Targets = ws.sess.Targets()
+	return ack
+}
+
+// runJob executes one job and sends its result, applying the fault plan.
+func (w *Worker) runJob(ctx context.Context, cw *connWriter, jm jobMsg) {
+	w.mu.Lock()
+	ws := w.sessions[jm.SessionKey]
+	w.mu.Unlock()
+	var rm resultMsg
+	if ws == nil || ws.sess == nil {
+		rm = resultMsg{ID: jm.ID, Err: fmt.Sprintf("unknown session %s", jm.SessionKey)}
+	} else {
+		res, err := ws.sess.ExecJob(ctx, jm.job())
+		if err != nil {
+			if ctx.Err() != nil {
+				return // connection is going away; no one is listening
+			}
+			rm = resultMsg{ID: jm.ID, Err: err.Error()}
+		} else {
+			rm = toResultMsg(res)
+		}
+	}
+	w.mJobs.Add(1)
+
+	action, delay := w.cfg.Fault.next()
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return
+		}
+	}
+	switch action {
+	case faultKill:
+		w.logf("fault: killing worker after %d jobs", w.cfg.Fault.jobs.Load())
+		if w.cfg.Fault.OnKill != nil {
+			w.cfg.Fault.OnKill()
+		}
+		// Close from a fresh goroutine: Close waits for connection
+		// handlers, and this job goroutine is one of them.
+		go func() { _ = w.Close() }()
+		return
+	case faultDrop:
+		w.logf("fault: dropping result of job %d", jm.ID)
+		return
+	}
+	_ = cw.send(MsgResult, encode(rm))
+}

@@ -92,6 +92,7 @@ func CompileCtx(ctx context.Context, net *network.Net, opts Options) (*Result, e
 			case <-ctx.Done():
 				run.canceled.Store(true)
 				run.stop.Store(true)
+				run.interrupt()
 			case <-finished:
 			}
 		}()
@@ -168,6 +169,17 @@ type runner struct {
 	timedOut atomic.Bool
 	canceled atomic.Bool // set when the compile context was cancelled
 	pristine *state      // shared post-init snapshot for distributed jobs
+	// queue is the distributed work queue, published so the cancellation
+	// watcher can wake workers parked on its condition variable.
+	queue atomic.Pointer[workQueue]
+}
+
+// interrupt wakes workers blocked on the distributed work queue so they
+// observe the stop flag promptly instead of sleeping until the queue drains.
+func (r *runner) interrupt() {
+	if q := r.queue.Load(); q != nil {
+		q.interrupt()
+	}
 }
 
 // leaseBudgetBuf hands a walker the backing array for its per-depth budget
@@ -227,6 +239,12 @@ type walker struct {
 	// back is the contiguous backing of the per-depth budget-halving
 	// buffers (Hybrid only), leased from the runner on first use.
 	back []float64
+	// trackPath maintains path — the assignments from this walker's job
+	// root to the current branch — so session executors can ship fork
+	// continuations as replayable assignment paths instead of raw mask
+	// snapshots.
+	trackPath bool
+	path      []Assign
 }
 
 // dfs explores the branch extending the current assignment by x ↦ xval
@@ -265,6 +283,9 @@ func (w *walker) dfs(depth, oi int, x event.VarID, xval bool, p float64, E []flo
 	if x >= 0 {
 		s.assign(x, xval, p)
 		w.localVars++
+		if w.trackPath {
+			w.path = append(w.path, Assign{Var: x, Val: xval})
+		}
 	}
 
 	switch {
@@ -314,6 +335,9 @@ func (w *walker) dfs(depth, oi int, x event.VarID, xval bool, p float64, E []flo
 
 	if x >= 0 {
 		w.localVars--
+		if w.trackPath {
+			w.path = w.path[:len(w.path)-1]
+		}
 		s.undoTo(mark)
 	}
 }
@@ -383,6 +407,7 @@ func (r *runner) checkDeadline() {
 	if !r.deadline.IsZero() && time.Now().After(r.deadline) {
 		r.timedOut.Store(true)
 		r.stop.Store(true)
+		r.interrupt()
 	}
 }
 

@@ -3,8 +3,10 @@ package prob
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"enframe/internal/obs"
 	"enframe/internal/vec"
 )
 
@@ -35,12 +37,33 @@ type workQueue struct {
 	outstanding int
 	closed      bool
 	maxPending  int
+	// stop mirrors the runner's abort flag into the wait loop: without it a
+	// cancelled CompileCtx left workers parked on cond.Wait until the queue
+	// drained naturally. Nil means no external abort source.
+	stop *atomic.Bool
+	// depth publishes the pending-job count as prob.queue.depth; nil-safe.
+	depth *obs.Gauge
 }
 
-func newWorkQueue(maxPending int) *workQueue {
-	q := &workQueue{maxPending: maxPending}
+func newWorkQueue(maxPending int, stop *atomic.Bool) *workQueue {
+	q := &workQueue{maxPending: maxPending, stop: stop}
 	q.cond = sync.NewCond(&q.mu)
 	return q
+}
+
+func (q *workQueue) stopped() bool {
+	return q.stop != nil && q.stop.Load()
+}
+
+// interrupt wakes every worker blocked in pop after the stop flag flipped.
+// The empty critical section orders the flag write before the broadcast, so
+// a worker is either not yet waiting (and re-checks the flag before Wait) or
+// waiting (and is woken here); either way it drains promptly.
+func (q *workQueue) interrupt() {
+	q.mu.Lock()
+	//lint:ignore SA2001 the lock pairs the stop-flag write with cond.Wait
+	q.mu.Unlock()
+	q.cond.Broadcast()
 }
 
 // hasRoom reports whether forking another job is worthwhile; racy reads are
@@ -57,23 +80,26 @@ func (q *workQueue) push(j job) {
 	q.mu.Lock()
 	q.jobs = append(q.jobs, j)
 	q.outstanding++
+	q.depth.Set(float64(len(q.jobs)))
 	q.mu.Unlock()
 	q.cond.Signal()
 }
 
-// pop blocks for the next job; ok is false once all work is finished.
+// pop blocks for the next job; ok is false once all work is finished or the
+// stop flag aborted the compilation.
 func (q *workQueue) pop() (job, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.jobs) == 0 && !q.closed {
+	for len(q.jobs) == 0 && !q.closed && !q.stopped() {
 		q.cond.Wait()
 	}
-	if len(q.jobs) == 0 {
+	if len(q.jobs) == 0 || q.stopped() {
 		return job{}, false
 	}
 	j := q.jobs[len(q.jobs)-1]
 	q.jobs[len(q.jobs)-1] = job{}
 	q.jobs = q.jobs[:len(q.jobs)-1]
+	q.depth.Set(float64(len(q.jobs)))
 	return j, true
 }
 
@@ -137,7 +163,19 @@ func (r *runner) runDistributed() Stats {
 	dspan := r.span.Start("distribute")
 	defer dspan.End()
 
-	queue := newWorkQueue(4 * r.opts.Workers)
+	queue := newWorkQueue(4*r.opts.Workers, &r.stop)
+	var forkedC, inlinedC *obs.Counter
+	if reg := r.opts.Obs.Metrics(); reg != nil {
+		queue.depth = reg.Gauge("prob.queue.depth")
+		forkedC = reg.Counter("prob.jobs.forked")
+		inlinedC = reg.Counter("prob.jobs.inlined")
+	}
+	// Publish the queue so the cancellation watcher can wake parked workers,
+	// then re-check: the watcher may have fired before the queue existed.
+	r.queue.Store(queue)
+	if r.stop.Load() {
+		queue.interrupt()
+	}
 	pool := &budgetPool{}
 	E0 := make([]float64, len(r.net.Targets))
 	if r.opts.Strategy.budgeted() {
@@ -175,8 +213,10 @@ func (r *runner) runDistributed() Stats {
 			w := &walker{state: s, run: r, forkDepth: r.opts.JobDepth}
 			w.fork = func(oi int, p float64, E []float64) bool {
 				if !queue.hasRoom() {
+					inlinedC.Add(1)
 					return false
 				}
+				forkedC.Add(1)
 				j := job{
 					masks:     append([]nmask(nil), s.masks...),
 					tMasked:   append([]bool(nil), s.tMasked...),
@@ -314,10 +354,17 @@ func (r *runner) runSimulated() Stats {
 	jobsPer := make([]int64, r.opts.Workers)
 	var forked []job
 	maxPending := 4 * r.opts.Workers
+	var forkedC, inlinedC *obs.Counter
+	if reg := r.opts.Obs.Metrics(); reg != nil {
+		forkedC = reg.Counter("prob.jobs.forked")
+		inlinedC = reg.Counter("prob.jobs.inlined")
+	}
 	w.fork = func(oi int, p float64, E []float64) bool {
 		if len(stack)+len(forked) >= maxPending {
+			inlinedC.Add(1)
 			return false
 		}
+		forkedC.Add(1)
 		j := job{
 			masks:     append([]nmask(nil), s.masks...),
 			tMasked:   append([]bool(nil), s.tMasked...),

@@ -15,7 +15,7 @@ import (
 // fork children before done() — and checks every job is processed exactly
 // once and the queue closes exactly when the last job finishes.
 func TestWorkQueueDrains(t *testing.T) {
-	q := newWorkQueue(1 << 30) // no backpressure: every fork enqueues
+	q := newWorkQueue(1<<30, nil) // no backpressure: every fork enqueues
 	var forksLeft atomic.Int64
 	forksLeft.Store(500)
 	var processed atomic.Int64
@@ -57,7 +57,7 @@ func TestWorkQueueDrains(t *testing.T) {
 // TestWorkQueueBackpressure: hasRoom must flip to false once maxPending
 // jobs queue up, and recover as jobs are popped.
 func TestWorkQueueBackpressure(t *testing.T) {
-	q := newWorkQueue(2)
+	q := newWorkQueue(2, nil)
 	if !q.hasRoom() {
 		t.Fatal("empty queue reports no room")
 	}
@@ -80,7 +80,7 @@ func TestWorkQueueBackpressure(t *testing.T) {
 // TestWorkQueuePopBlocksUntilPush: a pop on an empty open queue must block,
 // then wake when work arrives.
 func TestWorkQueuePopBlocksUntilPush(t *testing.T) {
-	q := newWorkQueue(4)
+	q := newWorkQueue(4, nil)
 	got := make(chan bool, 1)
 	go func() {
 		_, ok := q.pop()
@@ -105,7 +105,7 @@ func TestWorkQueuePopBlocksUntilPush(t *testing.T) {
 // TestWorkQueueLIFO: within one worker the queue pops the most recently
 // pushed job first (depth-first exploration keeps mask snapshots small).
 func TestWorkQueueLIFO(t *testing.T) {
-	q := newWorkQueue(8)
+	q := newWorkQueue(8, nil)
 	for i := 0; i < 3; i++ {
 		q.push(job{oi: i})
 	}

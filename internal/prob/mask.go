@@ -123,6 +123,12 @@ type state struct {
 	// distributed worker replays a job's assignment prefix (the forking
 	// worker already credited targets masked within the prefix).
 	recording bool
+	// onAdd, when set, observes every recorded bound contribution in
+	// execution order. Session executors capture the add stream through it
+	// so the coordinator can replay contributions in sequential DFS order
+	// (the merge that makes multi-process runs bit-identical to one
+	// process). Nil outside executor-driven jobs.
+	onAdd func(ti int, isTrue bool, p float64)
 }
 
 type trailEntry struct {
@@ -211,6 +217,9 @@ func (s *state) initAll() {
 				s.tMasked[ti] = true
 				if s.recording {
 					s.bounds.add(ti, m.bval == bTrue, 1)
+					if s.onAdd != nil {
+						s.onAdd(ti, m.bval == bTrue, 1)
+					}
 				}
 			}
 		}

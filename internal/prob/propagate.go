@@ -78,6 +78,25 @@ func (b *boundsBook) settledWith(masked []bool) bool {
 	return true
 }
 
+// restoreFrom resets the book to a bit-exact copy of src. src must be
+// quiescent (session executors restore from a post-init book that is never
+// written again); b must have the same target count.
+func (b *boundsBook) restoreFrom(src *boundsBook) {
+	b.mu.Lock()
+	copy(b.lo, src.lo)
+	copy(b.hi, src.hi)
+	copy(b.tight, src.tight)
+	b.eps2 = src.eps2
+	loose := int64(0)
+	for _, t := range src.tight {
+		if !t {
+			loose++
+		}
+	}
+	b.nLoose.Store(loose)
+	b.mu.Unlock()
+}
+
 // snapshot copies the current bounds.
 func (b *boundsBook) snapshot() (lo, hi []float64) {
 	b.mu.Lock()
@@ -117,6 +136,9 @@ func (s *state) commit(id network.NodeID, old *nmask) {
 			s.tMasked[ti] = true
 			if s.recording {
 				s.bounds.add(ti, nm.bval == bTrue, s.curMass)
+				if s.onAdd != nil {
+					s.onAdd(ti, nm.bval == bTrue, s.curMass)
+				}
 			}
 		}
 	}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+
+	"enframe/internal/core"
+	"enframe/internal/dist"
+)
+
+// startDistWorker runs an in-process dist.Worker backed by the server's own
+// spec resolver — the same wiring `enframe worker` uses — and returns its
+// address.
+func startDistWorker(t *testing.T) string {
+	t.Helper()
+	w, err := dist.NewWorker(dist.WorkerConfig{
+		Resolver: func(specJSON []byte) (core.Spec, string, error) {
+			var req RunRequest
+			if err := json.Unmarshal(specJSON, &req); err != nil {
+				return core.Spec{}, "", err
+			}
+			return BuildSpec(req)
+		},
+		Slots: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = w.Serve() }()
+	t.Cleanup(func() { _ = w.Close() })
+	return w.Addr()
+}
+
+func TestRemoteRunMatchesLocal(t *testing.T) {
+	addr := startDistWorker(t)
+	s := startTestServer(t, Config{})
+	client := &http.Client{}
+
+	local := smallRequest(31, 10)
+	status, localResp, raw := postRun(t, client, s.Addr(), local)
+	if status != http.StatusOK {
+		t.Fatalf("local run: status %d: %s", status, raw)
+	}
+	if localResp.Remote != nil {
+		t.Fatalf("local run reported remote involvement: %+v", localResp.Remote)
+	}
+
+	remote := local
+	remote.RemoteWorkers = []string{addr}
+	status, remoteResp, raw := postRun(t, client, s.Addr(), remote)
+	if status != http.StatusOK {
+		t.Fatalf("remote run: status %d: %s", status, raw)
+	}
+	if remoteResp.Remote == nil || remoteResp.Remote.Workers != 1 || remoteResp.Remote.Fallback {
+		t.Fatalf("remote block: %+v", remoteResp.Remote)
+	}
+	if len(remoteResp.Targets) != len(localResp.Targets) {
+		t.Fatalf("target count: remote %d, local %d", len(remoteResp.Targets), len(localResp.Targets))
+	}
+	for i, rt := range remoteResp.Targets {
+		lt := localResp.Targets[i]
+		if rt.Name != lt.Name ||
+			math.Float64bits(rt.Lower) != math.Float64bits(lt.Lower) ||
+			math.Float64bits(rt.Upper) != math.Float64bits(lt.Upper) {
+			t.Fatalf("target %d diverges: remote %+v, local %+v", i, rt, lt)
+		}
+	}
+	if counterValue(s, "server.remote.runs") == 0 {
+		t.Error("server.remote.runs not incremented")
+	}
+}
+
+func TestRemoteDeadWorkersAnswer502(t *testing.T) {
+	s := startTestServer(t, Config{})
+	client := &http.Client{}
+
+	req := smallRequest(32, 8)
+	req.RemoteWorkers = []string{"127.0.0.1:1"}
+	status, _, raw := postRun(t, client, s.Addr(), req)
+	if status != http.StatusBadGateway {
+		t.Fatalf("want 502, got %d: %s", status, raw)
+	}
+	if counterValue(s, "server.responses.bad_gateway") == 0 {
+		t.Error("server.responses.bad_gateway not incremented")
+	}
+}
+
+func TestRemoteFallbackServesLocally(t *testing.T) {
+	s := startTestServer(t, Config{})
+	client := &http.Client{}
+
+	req := smallRequest(33, 8)
+	req.RemoteWorkers = []string{"127.0.0.1:1"}
+	req.RemoteFallback = true
+	status, resp, raw := postRun(t, client, s.Addr(), req)
+	if status != http.StatusOK {
+		t.Fatalf("want 200 via fallback, got %d: %s", status, raw)
+	}
+	if resp.Remote == nil || !resp.Remote.Fallback {
+		t.Fatalf("fallback not reported: %+v", resp.Remote)
+	}
+	if counterValue(s, "server.remote.fallbacks") == 0 {
+		t.Error("server.remote.fallbacks not incremented")
+	}
+}
+
+func TestRemoteRequestValidation(t *testing.T) {
+	s := startTestServer(t, Config{})
+	client := &http.Client{}
+
+	fallbackOnly := smallRequest(34, 8)
+	fallbackOnly.RemoteFallback = true
+	if status, _, raw := postRun(t, client, s.Addr(), fallbackOnly); status != http.StatusBadRequest {
+		t.Errorf("remote_fallback without remote_workers: want 400, got %d: %s", status, raw)
+	}
+
+	blank := smallRequest(34, 8)
+	blank.RemoteWorkers = []string{"  "}
+	if status, _, raw := postRun(t, client, s.Addr(), blank); status != http.StatusBadRequest {
+		t.Errorf("blank remote_workers entry: want 400, got %d: %s", status, raw)
+	}
+
+	tooMany := smallRequest(34, 8)
+	for i := 0; i < maxWorkersPerRequest+1; i++ {
+		tooMany.RemoteWorkers = append(tooMany.RemoteWorkers, "127.0.0.1:1")
+	}
+	if status, _, raw := postRun(t, client, s.Addr(), tooMany); status != http.StatusBadRequest {
+		t.Errorf("too many remote_workers: want 400, got %d: %s", status, raw)
+	}
+}

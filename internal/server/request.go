@@ -51,6 +51,15 @@ type RunRequest struct {
 	// timer instead: the request succeeds with the partial bounds reached
 	// so far and "timed_out": true.
 	SoftTimeoutMs int `json:"soft_timeout_ms,omitempty"`
+	// RemoteWorkers lists TCP addresses of enframe worker processes; when
+	// non-empty, compilation jobs ship to them over the distributed plane
+	// instead of running in-process. Workers and RemoteWorkers are
+	// mutually exclusive interpretations of the same request: remote wins.
+	RemoteWorkers []string `json:"remote_workers,omitempty"`
+	// RemoteFallback permits local in-process compilation when the remote
+	// plane is unreachable or lost mid-run; by default such failures
+	// answer 502 Bad Gateway.
+	RemoteFallback bool `json:"remote_fallback,omitempty"`
 }
 
 // DataSpec mirrors the CLI data-generation flags. Kind "sensor" (default)
@@ -137,8 +146,25 @@ func (r RunRequest) withDefaults() RunRequest {
 
 // maxWorkersPerRequest caps the goroutine fan-out a single request may ask
 // for; overall compile concurrency is bounded separately by admission
-// control.
+// control. The same cap bounds remote_workers addresses.
 const maxWorkersPerRequest = 16
+
+// ArtifactRequest strips a request down to the fields that determine its
+// compiled artifact (program, data, params, targets) — the exact inputs of
+// the cache key. This is the spec form shipped to remote workers: the worker
+// re-derives the artifact with BuildSpec and verifies the content hash, while
+// per-request knobs (strategy, ε, depth, timeouts) travel separately as
+// session options.
+func ArtifactRequest(req RunRequest) RunRequest {
+	req = req.withDefaults()
+	return RunRequest{
+		Program: req.Program,
+		Source:  req.Source,
+		Data:    req.Data,
+		Params:  req.Params,
+		Targets: req.Targets,
+	}
+}
 
 // badRequestError marks request-validation failures that map to HTTP 400.
 type badRequestError struct{ msg string }
@@ -174,6 +200,18 @@ func BuildSpec(req RunRequest) (core.Spec, string, error) {
 	}
 	if req.TimeoutMs < 0 || req.SoftTimeoutMs < 0 {
 		return core.Spec{}, "", badRequest("timeouts must be ≥ 0")
+	}
+	if len(req.RemoteWorkers) > maxWorkersPerRequest {
+		return core.Spec{}, "", badRequest("remote_workers must list at most %d addresses (got %d)",
+			maxWorkersPerRequest, len(req.RemoteWorkers))
+	}
+	for _, addr := range req.RemoteWorkers {
+		if strings.TrimSpace(addr) == "" {
+			return core.Spec{}, "", badRequest("remote_workers entries must be host:port addresses")
+		}
+	}
+	if req.RemoteFallback && len(req.RemoteWorkers) == 0 {
+		return core.Spec{}, "", badRequest("remote_fallback requires remote_workers")
 	}
 
 	switch req.Data.Kind {

@@ -21,6 +21,18 @@ type RunResponse struct {
 	Targets      []RunTarget `json:"targets"`
 	Stats        RunStats    `json:"stats"`
 	TimingsMs    RunTimings  `json:"timings_ms"`
+	// Remote reports how the distributed plane served the request; absent
+	// for purely local runs.
+	Remote *RemoteResponse `json:"remote,omitempty"`
+}
+
+// RemoteResponse describes the distributed plane's involvement in one run.
+type RemoteResponse struct {
+	// Workers is the count of live remote workers when the run finished.
+	Workers int `json:"workers"`
+	// Fallback is true when remote execution was requested but the run was
+	// served in-process because the worker plane was unavailable.
+	Fallback bool `json:"fallback,omitempty"`
 }
 
 // RunTarget is one compilation target's probability interval.
@@ -55,7 +67,7 @@ type RunTimings struct {
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
-func buildResponse(req RunRequest, rep *core.Report, hit bool) RunResponse {
+func buildResponse(req RunRequest, rep *core.Report, hit bool, remote remoteStatus) RunResponse {
 	out := RunResponse{
 		Cache:        "miss",
 		Strategy:     req.Strategy,
@@ -83,6 +95,9 @@ func buildResponse(req RunRequest, rep *core.Report, hit bool) RunResponse {
 	}
 	if hit {
 		out.Cache = "hit"
+	}
+	if remote.used || remote.fellBack {
+		out.Remote = &RemoteResponse{Workers: remote.workers, Fallback: remote.fellBack}
 	}
 	if req.Strategy == "exact" {
 		out.Epsilon = 0

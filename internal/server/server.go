@@ -19,10 +19,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sort"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"enframe/internal/core"
+	"enframe/internal/dist"
 	"enframe/internal/obs"
 	"enframe/internal/prob"
 )
@@ -101,17 +105,26 @@ type Server struct {
 	inflight atomic.Int64
 	serveErr chan error
 
-	mRequests     *obs.Counter
-	mOK           *obs.Counter
-	mBadRequest   *obs.Counter
-	mErrors       *obs.Counter
-	mRejQueue     *obs.Counter // 429: queue full
-	mRejDraining  *obs.Counter // 503: draining
-	mDeadline     *obs.Counter // 504: per-request deadline exceeded
-	mCanceled     *obs.Counter // 499: client disconnected
-	gInflight     *obs.Gauge
-	gInflightPeak *obs.Gauge
-	hLatency      *obs.Histogram
+	// pools caches worker pools by their sorted address list, so repeated
+	// requests naming the same worker set reuse live connections and
+	// worker-side session caches.
+	poolsMu sync.Mutex
+	pools   map[string]*dist.Pool
+
+	mRequests       *obs.Counter
+	mOK             *obs.Counter
+	mBadRequest     *obs.Counter
+	mErrors         *obs.Counter
+	mRejQueue       *obs.Counter // 429: queue full
+	mRejDraining    *obs.Counter // 503: draining
+	mDeadline       *obs.Counter // 504: per-request deadline exceeded
+	mCanceled       *obs.Counter // 499: client disconnected
+	mBadGateway     *obs.Counter // 502: remote worker plane failed
+	mRemoteRuns     *obs.Counter
+	mRemoteFallback *obs.Counter
+	gInflight       *obs.Gauge
+	gInflightPeak   *obs.Gauge
+	hLatency        *obs.Histogram
 }
 
 // latencyBucketsMs are the /metrics latency histogram upper bounds.
@@ -131,18 +144,22 @@ func New(cfg Config) *Server {
 		workSlots:  make(chan struct{}, cfg.MaxInflight),
 		queueSlots: make(chan struct{}, cfg.MaxInflight+cfg.QueueDepth),
 		serveErr:   make(chan error, 1),
+		pools:      map[string]*dist.Pool{},
 
-		mRequests:     cfg.Registry.Counter("server.requests"),
-		mOK:           cfg.Registry.Counter("server.responses.ok"),
-		mBadRequest:   cfg.Registry.Counter("server.responses.bad_request"),
-		mErrors:       cfg.Registry.Counter("server.responses.error"),
-		mRejQueue:     cfg.Registry.Counter("server.rejected.queue_full"),
-		mRejDraining:  cfg.Registry.Counter("server.rejected.draining"),
-		mDeadline:     cfg.Registry.Counter("server.deadline_exceeded"),
-		mCanceled:     cfg.Registry.Counter("server.client_canceled"),
-		gInflight:     cfg.Registry.Gauge("server.inflight"),
-		gInflightPeak: cfg.Registry.Gauge("server.inflight.peak"),
-		hLatency:      cfg.Registry.Histogram("server.latency_ms", latencyBucketsMs),
+		mRequests:       cfg.Registry.Counter("server.requests"),
+		mOK:             cfg.Registry.Counter("server.responses.ok"),
+		mBadRequest:     cfg.Registry.Counter("server.responses.bad_request"),
+		mErrors:         cfg.Registry.Counter("server.responses.error"),
+		mRejQueue:       cfg.Registry.Counter("server.rejected.queue_full"),
+		mRejDraining:    cfg.Registry.Counter("server.rejected.draining"),
+		mDeadline:       cfg.Registry.Counter("server.deadline_exceeded"),
+		mCanceled:       cfg.Registry.Counter("server.client_canceled"),
+		mBadGateway:     cfg.Registry.Counter("server.responses.bad_gateway"),
+		mRemoteRuns:     cfg.Registry.Counter("server.remote.runs"),
+		mRemoteFallback: cfg.Registry.Counter("server.remote.fallbacks"),
+		gInflight:       cfg.Registry.Gauge("server.inflight"),
+		gInflightPeak:   cfg.Registry.Gauge("server.inflight.peak"),
+		hLatency:        cfg.Registry.Histogram("server.latency_ms", latencyBucketsMs),
 	}
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
@@ -198,14 +215,21 @@ func (s *Server) Addr() string {
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Shutdown drains gracefully: new work is rejected with 503, the listener
-// closes, and in-flight requests run to completion (or until ctx expires,
-// at which point remaining connections are cut).
+// closes, in-flight requests run to completion (or until ctx expires, at
+// which point remaining connections are cut), and every remote worker pool
+// is torn down.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	err := s.httpSrv.Shutdown(ctx)
 	if serr, ok := <-s.serveErr; ok && err == nil {
 		err = serr
 	}
+	s.poolsMu.Lock()
+	for key, p := range s.pools {
+		_ = p.Close()
+		delete(s.pools, key)
+	}
+	s.poolsMu.Unlock()
 	return err
 }
 
@@ -351,10 +375,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	t0 := time.Now()
-	rep, hit, err := s.execute(ctx, spec, key, req)
+	rep, hit, remote, err := s.execute(ctx, spec, key, req)
 	if err != nil {
 		if ctx.Err() != nil {
 			s.finishCtxErr(w, r, ctx)
+			return
+		}
+		// A broken worker plane — unreachable workers, mid-run total loss,
+		// protocol version skew, truncated frames — is an upstream failure:
+		// 502, never a hang or a panic.
+		if isRemoteError(err) {
+			s.mBadGateway.Inc()
+			writeError(w, http.StatusBadGateway, "remote worker plane: %v", err)
 			return
 		}
 		s.mErrors.Inc()
@@ -363,20 +395,37 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	s.hLatency.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
 	s.mOK.Inc()
-	writeJSON(w, http.StatusOK, buildResponse(req, rep, hit))
+	writeJSON(w, http.StatusOK, buildResponse(req, rep, hit, remote))
+}
+
+// isRemoteError classifies distributed-plane failures for the 502 contract:
+// typed wire-protocol errors and transport-level executor loss, as opposed
+// to compilation errors (422) and context errors (499/504).
+func isRemoteError(err error) bool {
+	return dist.IsProtocolError(err) || errors.Is(err, prob.ErrExecutorUnavailable)
+}
+
+// remoteStatus records how the distributed plane served one request, for
+// the response body and metrics.
+type remoteStatus struct {
+	used     bool // jobs shipped to remote workers
+	workers  int  // live workers at completion
+	fellBack bool // remote requested but served locally
 }
 
 // execute resolves the artifact through the cache and compiles it with the
-// request's options. A coalesced preparation that failed only because the
-// leading request's context expired is retried once under our own context.
-func (s *Server) execute(ctx context.Context, spec core.Spec, key string, req RunRequest) (*core.Report, bool, error) {
+// request's options — in-process, or over the remote worker plane when the
+// request names remote_workers. A coalesced preparation that failed only
+// because the leading request's context expired is retried once under our
+// own context.
+func (s *Server) execute(ctx context.Context, spec core.Spec, key string, req RunRequest) (*core.Report, bool, remoteStatus, error) {
 	prepare := func() (*core.Artifact, error) { return core.PrepareContext(ctx, spec) }
 	art, hit, err := s.cache.getOrPrepare(key, prepare)
 	if err != nil && isCtxError(err) && ctx.Err() == nil {
 		art, hit, err = s.cache.getOrPrepare(key, prepare)
 	}
 	if err != nil {
-		return nil, false, err
+		return nil, false, remoteStatus{}, err
 	}
 
 	strategy, _ := parseStrategy(req.Strategy) // validated by BuildSpec
@@ -389,11 +438,84 @@ func (s *Server) execute(ctx context.Context, spec core.Spec, key string, req Ru
 		Heuristic: heuristic,
 		Timeout:   time.Duration(req.SoftTimeoutMs) * time.Millisecond,
 	}
+
+	if len(req.RemoteWorkers) > 0 {
+		rep, remote, rerr := s.executeRemote(ctx, art, key, req, opts)
+		if rerr == nil {
+			return rep, hit, remote, nil
+		}
+		if !req.RemoteFallback || ctx.Err() != nil || !isRemoteError(rerr) {
+			return nil, hit, remote, rerr
+		}
+		// The plane is down and the request opted into degraded mode: run
+		// locally and say so in the response.
+		s.mRemoteFallback.Inc()
+	}
+
 	rep, err := art.CompileContext(ctx, opts)
 	if err != nil {
-		return nil, hit, err
+		return nil, hit, remoteStatus{}, err
 	}
-	return rep, hit, nil
+	remote := remoteStatus{fellBack: len(req.RemoteWorkers) > 0}
+	return rep, hit, remote, nil
+}
+
+// executeRemote ships the compilation to the request's worker set via a
+// cached pool. The artifact-identifying request travels as the session spec;
+// workers re-derive the artifact and verify its content hash equals key.
+func (s *Server) executeRemote(ctx context.Context, art *core.Artifact, key string, req RunRequest, opts prob.Options) (*core.Report, remoteStatus, error) {
+	pool, err := s.poolFor(ctx, req.RemoteWorkers)
+	if err != nil {
+		return nil, remoteStatus{}, err
+	}
+	specJSON, err := json.Marshal(ArtifactRequest(req))
+	if err != nil {
+		return nil, remoteStatus{}, fmt.Errorf("server: encode wire spec: %w", err)
+	}
+	opts.Order = art.Order(opts.Heuristic)
+	exec := pool.Session(key, specJSON, dist.FromOptions(opts))
+	s.mRemoteRuns.Inc()
+
+	tm := art.PrepTimings
+	tCompile := time.Now()
+	pr, err := prob.CompileExec(ctx, art.Net, opts, exec)
+	tm.Compile = time.Since(tCompile)
+	tm.Total = tm.Lex + tm.Parse + tm.Translate + tm.Ground + tm.Compile
+	remote := remoteStatus{used: true, workers: pool.AliveWorkers()}
+	if err != nil {
+		return nil, remote, err
+	}
+	return &core.Report{
+		Result: pr, Events: art.Events, Net: art.Net, Translation: art.Translation,
+		Ground: art.Ground, Timings: tm,
+	}, remote, nil
+}
+
+// poolFor returns the cached pool for a worker set (keyed by the sorted
+// address list), dialing it on first use and re-dialing when every worker in
+// the cached pool has died.
+func (s *Server) poolFor(ctx context.Context, addrs []string) (*dist.Pool, error) {
+	sorted := append([]string(nil), addrs...)
+	sort.Strings(sorted)
+	key := strings.Join(sorted, ",")
+	s.poolsMu.Lock()
+	defer s.poolsMu.Unlock()
+	if p, ok := s.pools[key]; ok {
+		if p.AliveWorkers() > 0 {
+			return p, nil
+		}
+		_ = p.Close()
+		delete(s.pools, key)
+	}
+	p, err := dist.NewPool(ctx, dist.PoolConfig{
+		Addrs: sorted,
+		Reg:   s.reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.pools[key] = p
+	return p, nil
 }
 
 // finishCtxErr maps a context failure to the response contract: 504 for a
