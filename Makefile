@@ -42,10 +42,11 @@ bench:
 bench-compare:
 	$(GO) run ./cmd/bench -compare BENCH_pipeline.json
 
-# alloc-guard pins the obs-disabled fused front end to its post-fusion
-# allocation budget (see allocguard_test.go).
+# alloc-guard pins the obs-disabled fused front end and the bit-parallel
+# flat compilation core to their post-optimisation allocation budgets (see
+# allocguard_test.go).
 alloc-guard:
-	$(GO) test -run '^TestFrontEndAllocGuard$$' -count=1 -v .
+	$(GO) test -run '^Test(FrontEnd|Compile)AllocGuard$$' -count=1 -v .
 
 # bench-serve loads the serving layer (in-process, ephemeral port) and
 # refreshes BENCH_serve.json: throughput, p50/p95/p99 latency, and the

@@ -8,10 +8,14 @@
 // The front end is measured both ways: pipeline/translate + pipeline/ground
 // are the legacy two-phase stages (event-program AST, then grounding), and
 // pipeline/frontend-fused is the default streaming path that interns events
-// into the network during translation. -compare FILE re-measures the fused
-// front end and fails (exit 1) if it regressed more than 20% against the
-// committed snapshot; old snapshots without a fused entry fall back to the
-// translate+ground sum.
+// into the network during translation. The exact compiler is likewise
+// measured both ways: pipeline/compile-exact and pipeline/compile-exact-flat
+// run the default bit-parallel flat core, pipeline/compile-exact-legacy the
+// retained nmask walker (prob.Options.LegacyCore). -compare FILE re-measures
+// the fused front end and the flat exact compile and fails (exit 1) if
+// either regressed more than 20% against the committed snapshot; old
+// snapshots without a fused/flat entry fall back to the translate+ground sum
+// and the plain compile-exact entry respectively.
 package main
 
 import (
@@ -38,7 +42,7 @@ var (
 	compareFlag = flag.String("compare", "", "snapshot to compare the fused front end against (no snapshot is written)")
 )
 
-// regressionLimit is the tolerated fused-front-end slowdown in -compare
+// regressionLimit is the tolerated slowdown of a gated stage in -compare
 // mode: fail when new ns/op > old ns/op × 1.2.
 const regressionLimit = 1.2
 
@@ -72,6 +76,33 @@ func run(name string, f func(b *testing.B)) benchResult {
 	}
 }
 
+// gateRounds is how many times a regression-gated stage is measured; the
+// minimum is compared/recorded. A single testing.Benchmark round swings >30%
+// under background load on a shared box, which is wider than the 20%
+// regression limit itself; the min over a few rounds tracks the code's
+// actual cost rather than the machine's mood.
+const gateRounds = 3
+
+// runMin measures f gateRounds times and keeps the fastest round.
+func runMin(name string, f func(b *testing.B)) benchResult {
+	var best benchResult
+	for i := 0; i < gateRounds; i++ {
+		r := testing.Benchmark(f)
+		if i == 0 || float64(r.NsPerOp()) < best.NsPerOp {
+			best = benchResult{
+				Name:        name,
+				N:           r.N,
+				NsPerOp:     float64(r.NsPerOp()),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			}
+		}
+	}
+	fmt.Printf("%-28s %12.0f ns/op %8d B/op %6d allocs/op (min of %d)\n",
+		best.Name, best.NsPerOp, best.BytesPerOp, best.AllocsPerOp, gateRounds)
+	return best
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "bench:", err)
 	os.Exit(1)
@@ -95,6 +126,27 @@ func frontendBaseline(snap *snapshot) (float64, string, bool) {
 	}
 	if haveT && haveG {
 		return translateNs + groundNs, "pipeline/translate + pipeline/ground", true
+	}
+	return 0, "", false
+}
+
+// compileBaseline extracts the reference flat-core exact-compile cost from a
+// committed snapshot: the compile-exact-flat entry when present, otherwise
+// the plain compile-exact entry (pre-flat-core snapshots, where it measured
+// the nmask walker).
+func compileBaseline(snap *snapshot) (float64, string, bool) {
+	var plainNs float64
+	var havePlain bool
+	for _, b := range snap.Benchmarks {
+		switch b.Name {
+		case "pipeline/compile-exact-flat":
+			return b.NsPerOp, b.Name, true
+		case "pipeline/compile-exact":
+			plainNs, havePlain = b.NsPerOp, true
+		}
+	}
+	if havePlain {
+		return plainNs, "pipeline/compile-exact", true
 	}
 	return 0, "", false
 }
@@ -166,13 +218,36 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("%s has no front-end benchmarks to compare against", *compareFlag))
 		}
-		cur := run("pipeline/frontend-fused", benchFused)
+		failed := false
+		cur := runMin("pipeline/frontend-fused", benchFused)
 		ratio := cur.NsPerOp / oldNs
 		fmt.Printf("front end: %.0f ns/op now vs %.0f ns/op committed (%s), ratio %.3f (limit %.2f)\n",
 			cur.NsPerOp, oldNs, source, ratio, regressionLimit)
 		if ratio > regressionLimit {
 			fmt.Fprintf(os.Stderr, "bench: front-end regression: %.3f× the committed snapshot (limit %.2f×)\n",
 				ratio, regressionLimit)
+			failed = true
+		}
+		if oldNs, source, ok := compileBaseline(&old); ok {
+			cnet := buildFused()
+			cur := runMin("pipeline/compile-exact-flat", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := prob.Compile(cnet, prob.Options{Strategy: prob.Exact}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			ratio := cur.NsPerOp / oldNs
+			fmt.Printf("flat compile: %.0f ns/op now vs %.0f ns/op committed (%s), ratio %.3f (limit %.2f)\n",
+				cur.NsPerOp, oldNs, source, ratio, regressionLimit)
+			if ratio > regressionLimit {
+				fmt.Fprintf(os.Stderr, "bench: flat-core compile regression: %.3f× the committed snapshot (limit %.2f×)\n",
+					ratio, regressionLimit)
+				failed = true
+			}
+		}
+		if failed {
 			os.Exit(1)
 		}
 		return
@@ -243,11 +318,27 @@ func main() {
 				buildLegacy()
 			}
 		}),
-		run("pipeline/frontend-fused", benchFused),
+		runMin("pipeline/frontend-fused", benchFused),
 		run("pipeline/compile-exact", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := prob.Compile(net, prob.Options{Strategy: prob.Exact}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		runMin("pipeline/compile-exact-flat", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := prob.Compile(net, prob.Options{Strategy: prob.Exact}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		run("pipeline/compile-exact-legacy", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := prob.Compile(net, prob.Options{Strategy: prob.Exact, LegacyCore: true}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,14 +1,18 @@
 // Package difftest is the end-to-end differential verification harness. For
 // one generated program (internal/gen) it computes every checked symbol
-// through three independent paths and asserts they agree:
+// through four independent paths and asserts they agree:
 //
 //  1. the naïve per-world oracle — enumerate all possible worlds
 //     (internal/worlds) and run the interpreter (internal/interp) in each;
 //  2. the full pipeline — translate to an event program
 //     (internal/translate), ground it into an event network
 //     (internal/network), and compile marginal probabilities exactly
-//     (internal/prob);
-//  3. the reference recompute evaluator (prob.CompileRef).
+//     (internal/prob) with the primary compilation core;
+//  3. the reference recompute evaluator (prob.CompileRef);
+//  4. the opposite compilation core (prob.Options.LegacyCore flipped) —
+//     required to be bit-identical to path 2, not merely within tolerance:
+//     the bit-parallel flat core and the legacy nmask walker must perform
+//     the same floating-point operations in the same order.
 //
 // On top of the exact agreement it checks the ε-approximation contract of
 // the eager, lazy, and hybrid strategies (truth within bounds, gap ≤ 2ε,
@@ -51,6 +55,11 @@ type Options struct {
 	JobDepths []int
 	// NoShrink reports the original failing program without shrinking.
 	NoShrink bool
+	// LegacyCore makes the legacy nmask walker the primary core for the
+	// whole matrix (exact, approximation, distributed); the cross-core
+	// stage then checks the flat core against it. Default is the reverse:
+	// flat primary, legacy cross-checked.
+	LegacyCore bool
 }
 
 // Quick is the per-seed configuration used for bulk runs and fuzzing.
@@ -230,11 +239,20 @@ func checkProgram(p *gen.Program, opt Options) (f *Failure) {
 		return &Failure{Stage: "network", Detail: err.Error()}
 	}
 
-	exact, err := prob.Compile(net, prob.Options{Strategy: prob.Exact})
+	exact, err := prob.Compile(net, prob.Options{Strategy: prob.Exact, LegacyCore: opt.LegacyCore})
 	if err != nil {
 		return &Failure{Stage: "exact", Detail: err.Error()}
 	}
 	if f := checkExact(exact, "exact", truth, labelToSym); f != nil {
+		return f
+	}
+	// Path 4: the opposite compilation core. Bit-identical, not tolerant:
+	// both cores are contracted to the same float-op sequence.
+	cross, err := prob.Compile(net, prob.Options{Strategy: prob.Exact, LegacyCore: !opt.LegacyCore})
+	if err != nil {
+		return &Failure{Stage: "cross-core", Detail: err.Error()}
+	}
+	if f := checkBitIdentical(cross, exact, "cross-core"); f != nil {
 		return f
 	}
 	ref, err := prob.CompileRef(net, prob.Options{Strategy: prob.Exact})
@@ -244,7 +262,7 @@ func checkProgram(p *gen.Program, opt Options) (f *Failure) {
 	if f := checkExact(ref, "reference", truth, labelToSym); f != nil {
 		return f
 	}
-	order, err := prob.Compile(net, prob.Options{Strategy: prob.Exact, Heuristic: prob.InputOrder})
+	order, err := prob.Compile(net, prob.Options{Strategy: prob.Exact, Heuristic: prob.InputOrder, LegacyCore: opt.LegacyCore})
 	if err != nil {
 		return &Failure{Stage: "order", Detail: err.Error()}
 	}
@@ -256,7 +274,7 @@ func checkProgram(p *gen.Program, opt Options) (f *Failure) {
 	// within ε — for every strategy × ε.
 	for _, eps := range opt.Epsilons {
 		for _, strat := range []prob.Strategy{prob.Eager, prob.Lazy, prob.Hybrid} {
-			r, err := prob.Compile(net, prob.Options{Strategy: strat, Epsilon: eps})
+			r, err := prob.Compile(net, prob.Options{Strategy: strat, Epsilon: eps, LegacyCore: opt.LegacyCore})
 			stage := fmt.Sprintf("%v ε=%g", strat, eps)
 			if err != nil {
 				return &Failure{Stage: stage, Detail: err.Error()}
@@ -272,7 +290,7 @@ func checkProgram(p *gen.Program, opt Options) (f *Failure) {
 	// must keep its ε contract when distributed.
 	for _, w := range opt.Workers {
 		for _, d := range opt.JobDepths {
-			r, err := prob.Compile(net, prob.Options{Strategy: prob.Exact, Workers: w, JobDepth: d})
+			r, err := prob.Compile(net, prob.Options{Strategy: prob.Exact, Workers: w, JobDepth: d, LegacyCore: opt.LegacyCore})
 			stage := fmt.Sprintf("distributed W=%d depth=%d", w, d)
 			if err != nil {
 				return &Failure{Stage: stage, Detail: err.Error()}
@@ -284,7 +302,7 @@ func checkProgram(p *gen.Program, opt Options) (f *Failure) {
 	}
 	if len(opt.Epsilons) > 0 && len(opt.Workers) > 0 {
 		eps, w := opt.Epsilons[0], opt.Workers[len(opt.Workers)-1]
-		r, err := prob.Compile(net, prob.Options{Strategy: prob.Hybrid, Epsilon: eps, Workers: w})
+		r, err := prob.Compile(net, prob.Options{Strategy: prob.Hybrid, Epsilon: eps, Workers: w, LegacyCore: opt.LegacyCore})
 		stage := fmt.Sprintf("distributed-hybrid W=%d ε=%g", w, eps)
 		if err != nil {
 			return &Failure{Stage: stage, Detail: err.Error()}
@@ -335,6 +353,37 @@ func checkApprox(r *prob.Result, stage string, eps float64, truth map[string]flo
 			return &Failure{Stage: stage,
 				Detail: fmt.Sprintf("%s: estimate %.12g off oracle %.12g by more than ε", sym, e, want)}
 		}
+	}
+	return nil
+}
+
+// checkBitIdentical asserts two results carry the same bounds down to the
+// last float bit — the cross-core contract of the flat compilation core.
+func checkBitIdentical(got, want *prob.Result, stage string) *Failure {
+	if len(got.Targets) != len(want.Targets) {
+		return &Failure{Stage: stage,
+			Detail: fmt.Sprintf("%d targets, primary core has %d", len(got.Targets), len(want.Targets))}
+	}
+	for i, wt := range want.Targets {
+		gt := got.Targets[i]
+		if gt.Name != wt.Name ||
+			math.Float64bits(gt.Lower) != math.Float64bits(wt.Lower) ||
+			math.Float64bits(gt.Upper) != math.Float64bits(wt.Upper) {
+			return &Failure{Stage: stage,
+				Detail: fmt.Sprintf("%s: [%x, %x] vs primary [%x, %x] — cores diverged",
+					wt.Name, math.Float64bits(gt.Lower), math.Float64bits(gt.Upper),
+					math.Float64bits(wt.Lower), math.Float64bits(wt.Upper))}
+		}
+	}
+	gs, ws := &got.Stats, &want.Stats
+	if gs.Branches != ws.Branches || gs.Assignments != ws.Assignments ||
+		gs.MaskUpdates != ws.MaskUpdates || gs.BudgetPrunes != ws.BudgetPrunes ||
+		gs.MaxDepth != ws.MaxDepth {
+		return &Failure{Stage: stage,
+			Detail: fmt.Sprintf("work counters diverged: branches %d/%d assignments %d/%d mask_updates %d/%d prunes %d/%d depth %d/%d",
+				gs.Branches, ws.Branches, gs.Assignments, ws.Assignments,
+				gs.MaskUpdates, ws.MaskUpdates, gs.BudgetPrunes, ws.BudgetPrunes,
+				gs.MaxDepth, ws.MaxDepth)}
 	}
 	return nil
 }

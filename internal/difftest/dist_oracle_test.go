@@ -104,6 +104,26 @@ func TestDistributedOracleOverTCP(t *testing.T) {
 						math.Float64bits(wt.Lower), math.Float64bits(wt.Upper))
 				}
 			}
+
+			// Cross-core over the wire: the remote workers splice jobs with
+			// the flat core; a sequential legacy-walker compile must land on
+			// the same bits, closing the loop remote-flat ↔ local-legacy.
+			legacyOpts := opts
+			legacyOpts.LegacyCore = true
+			legacy, err := prob.CompileCtx(ctx, art.Net, legacyOpts)
+			if err != nil {
+				t.Fatalf("seed %d depth %d: legacy local: %v", seed, depth, err)
+			}
+			for i, gt := range got.Targets {
+				lt := legacy.Targets[i]
+				if math.Float64bits(gt.Lower) != math.Float64bits(lt.Lower) ||
+					math.Float64bits(gt.Upper) != math.Float64bits(lt.Upper) {
+					t.Fatalf("seed %d depth %d: %s: remote flat [%x,%x] vs local legacy [%x,%x]",
+						seed, depth, gt.Name,
+						math.Float64bits(gt.Lower), math.Float64bits(gt.Upper),
+						math.Float64bits(lt.Lower), math.Float64bits(lt.Upper))
+				}
+			}
 		}
 
 		// Budgeted strategy over the wire: the ε-contract must hold even

@@ -1,0 +1,127 @@
+package difftest
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"enframe/internal/gen"
+	"enframe/internal/lang"
+	"enframe/internal/network"
+	"enframe/internal/prob"
+	"enframe/internal/translate"
+)
+
+// TestFlatLegacyEquivalence is the oracle check for the bit-parallel flat
+// compilation core: for a batch of generated programs, compiling one network
+// with the packed flat core (the default) and with the legacy nmask walker
+// (Options.LegacyCore) must produce bit-identical marginals, bit-identical
+// ε-bounds under the hybrid budget strategy, and identical work counters —
+// the two cores are required to perform the same floating-point operations
+// in the same order, so Branches, Assignments, MaskUpdates, and MaxDepth
+// must agree exactly, not approximately. Runs parallel per seed, so
+// `go test -race` also exercises the cached network.Flat layout under
+// concurrent first use.
+func TestFlatLegacyEquivalence(t *testing.T) {
+	const seeds = 300
+	minChecked := int64(230)
+	if testing.Short() {
+		minChecked = 30
+	}
+	var checked atomic.Int64
+	for seed := int64(1); seed <= seeds; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			if checkFlatLegacy(t, seed) {
+				checked.Add(1)
+			}
+		})
+	}
+	t.Cleanup(func() {
+		if got := checked.Load(); got < minChecked {
+			t.Errorf("only %d/%d seeds produced comparable networks (need ≥%d)", got, seeds, minChecked)
+		}
+	})
+}
+
+// checkFlatLegacy builds one generated program and compiles it with both
+// cores under the exact and hybrid strategies; it reports whether the seed
+// yielded a comparable network.
+func checkFlatLegacy(t *testing.T, seed int64) bool {
+	p := gen.New(seed)
+	in := p.Input
+	prog, err := lang.Parse(p.Source())
+	if err != nil {
+		t.Skipf("parse: %v", err)
+	}
+	ext := translate.External{
+		Objects:     in.Objects,
+		Space:       in.Space,
+		Params:      in.Params,
+		InitIndices: in.InitIndices,
+	}
+	fb := network.NewBuilder(in.Space, in.Metric)
+	fres, err := translate.TranslateInto(prog, ext, fb)
+	if err != nil {
+		t.Skipf("translate: %v", err)
+	}
+	n := 0
+	for _, s := range p.Syms() {
+		if !s.IsBool {
+			continue
+		}
+		if id, ok := fres.BoolNode(s.Name); ok {
+			fb.Target(s.Name, id)
+			n++
+		}
+	}
+	if n == 0 {
+		t.Skip("no Boolean targets")
+	}
+	net := fb.Build()
+
+	for _, tc := range []struct {
+		stage string
+		opts  prob.Options
+	}{
+		{"exact", prob.Options{Strategy: prob.Exact}},
+		{"hybrid", prob.Options{Strategy: prob.Hybrid, Epsilon: 0.05}},
+	} {
+		flatOpts, legacyOpts := tc.opts, tc.opts
+		legacyOpts.LegacyCore = true
+		flat, err := prob.Compile(net, flatOpts)
+		if err != nil {
+			t.Fatalf("%s: flat compile: %v", tc.stage, err)
+		}
+		legacy, err := prob.Compile(net, legacyOpts)
+		if err != nil {
+			t.Fatalf("%s: legacy compile: %v", tc.stage, err)
+		}
+		compareBits(t, seed, p, tc.stage+"-core", legacy, flat)
+		compareCoreStats(t, seed, p, tc.stage, &legacy.Stats, &flat.Stats)
+	}
+	return true
+}
+
+// compareCoreStats asserts the two cores did the identical amount of work:
+// any drift in node or branch counts means the flat core took a different
+// decision somewhere, even if the marginals happened to agree.
+func compareCoreStats(t *testing.T, seed int64, p *gen.Program, stage string, legacy, flat *prob.Stats) {
+	t.Helper()
+	type cnt struct {
+		name         string
+		legacy, flat int64
+	}
+	for _, c := range []cnt{
+		{"branches", legacy.Branches, flat.Branches},
+		{"assignments", legacy.Assignments, flat.Assignments},
+		{"mask_updates", legacy.MaskUpdates, flat.MaskUpdates},
+		{"budget_prunes", legacy.BudgetPrunes, flat.BudgetPrunes},
+		{"max_depth", legacy.MaxDepth, flat.MaxDepth},
+	} {
+		if c.legacy != c.flat {
+			t.Fatalf("seed %d: %s: %s: legacy %d vs flat %d\nprogram:\n%s",
+				seed, stage, c.name, c.legacy, c.flat, p.Source())
+		}
+	}
+}

@@ -5,15 +5,20 @@ import "testing"
 // FuzzPipeline feeds arbitrary seeds to the full differential harness: the
 // generator must be total over int64, and every generated program must agree
 // across the per-world oracle, the exact pipeline, the reference evaluator,
-// the approximation strategies, and the distributed runner.
+// the cross-checked compilation core, the approximation strategies, and the
+// distributed runner. legacyPrimary flips which core drives the matrix —
+// false runs the bit-parallel flat core (the default) with the legacy nmask
+// walker as the cross-core oracle, true the reverse — so the fuzzer explores
+// both cores' code paths against each other.
 func FuzzPipeline(f *testing.F) {
-	f.Add(int64(1))
-	f.Add(int64(42))
-	f.Add(int64(-1))
-	f.Add(int64(1 << 40))
-	f.Add(int64(-9007199254740993))
-	f.Fuzz(func(t *testing.T, seed int64) {
-		if err := Check(seed, Quick()); err != nil {
+	for _, seed := range []int64{1, 42, -1, 1 << 40, -9007199254740993} {
+		f.Add(seed, false)
+		f.Add(seed, true)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, legacyPrimary bool) {
+		opt := Quick()
+		opt.LegacyCore = legacyPrimary
+		if err := Check(seed, opt); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -1,0 +1,86 @@
+package network
+
+import "enframe/internal/event"
+
+// Flat is the structure-of-arrays view of a network: node kinds, CSR-style
+// child and parent spans into single flat slices, and dense payload arrays,
+// all indexed by NodeID. The probability compiler's packed core walks these
+// contiguous slices instead of chasing per-node pointers — one cache line of
+// Kind covers 64 nodes, and a node's children are KidOff[id]..KidOff[id+1]
+// in one shared slice. The view is immutable and shared by all compilations
+// of the network; Net.Flat builds it once on first use.
+type Flat struct {
+	// Kind is the per-node kind tag.
+	Kind []Kind
+	// KidOff has len(nodes)+1 entries; node id's children are
+	// Kids[KidOff[id]:KidOff[id+1]] in declaration order.
+	KidOff []int32
+	Kids   []NodeID
+	// ParOff/Pars are the transposed spans: node id's parents are
+	// Pars[ParOff[id]:ParOff[id+1]] in increasing id order (the propagation
+	// order of the pointer-DAG walker, preserved bit-for-bit).
+	ParOff []int32
+	Pars   []NodeID
+	// Op is the comparison operator, meaningful for KCmp nodes only.
+	Op []event.CmpOp
+	// ValIdx indexes Vals for KCondVal nodes; -1 elsewhere. The c-value
+	// payloads live in one dense slice so the hot ⊗-derivation reads 8
+	// bytes of index instead of a 48-byte Node field.
+	ValIdx []int32
+	Vals   []event.Value
+}
+
+// NumKids returns the fan-in of a node.
+func (f *Flat) NumKids(id NodeID) int { return int(f.KidOff[id+1] - f.KidOff[id]) }
+
+// KidsOf returns the child span of a node.
+func (f *Flat) KidsOf(id NodeID) []NodeID { return f.Kids[f.KidOff[id]:f.KidOff[id+1]] }
+
+// ParsOf returns the parent span of a node.
+func (f *Flat) ParsOf(id NodeID) []NodeID { return f.Pars[f.ParOff[id]:f.ParOff[id+1]] }
+
+// Flat returns the structure-of-arrays view of the network, building it on
+// first use. The view is cached: repeated compilations of one network (the
+// serving layer's hot path) share a single layout.
+func (n *Net) Flat() *Flat {
+	n.flatOnce.Do(func() { n.flat = buildFlat(n) })
+	return n.flat
+}
+
+func buildFlat(n *Net) *Flat {
+	nn := len(n.Nodes)
+	f := &Flat{
+		Kind:   make([]Kind, nn),
+		KidOff: make([]int32, nn+1),
+		Op:     make([]event.CmpOp, nn),
+		ValIdx: make([]int32, nn),
+	}
+	nKids, nPars := 0, 0
+	for id := range n.Nodes {
+		nKids += len(n.Nodes[id].Kids)
+		nPars += len(n.Parents[id])
+	}
+	f.Kids = make([]NodeID, 0, nKids)
+	f.Pars = make([]NodeID, 0, nPars)
+	f.ParOff = make([]int32, nn+1)
+	for id := range n.Nodes {
+		nd := &n.Nodes[id]
+		f.Kind[id] = nd.Kind
+		f.KidOff[id] = int32(len(f.Kids))
+		f.Kids = append(f.Kids, nd.Kids...)
+		f.Op[id] = nd.Op
+		if nd.Kind == KCondVal {
+			f.ValIdx[id] = int32(len(f.Vals))
+			f.Vals = append(f.Vals, nd.Val)
+		} else {
+			f.ValIdx[id] = -1
+		}
+	}
+	f.KidOff[nn] = int32(len(f.Kids))
+	for id := range n.Parents {
+		f.ParOff[id] = int32(len(f.Pars))
+		f.Pars = append(f.Pars, n.Parents[id]...)
+	}
+	f.ParOff[nn] = int32(len(f.Pars))
+	return f
+}

@@ -1,0 +1,100 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"enframe/internal/event"
+)
+
+// buildMixedNet constructs a network covering every node kind, with shared
+// subexpressions so fan-out (parent spans) exceeds one.
+func buildMixedNet() *Net {
+	sp := event.NewSpace()
+	for i := 0; i < 4; i++ {
+		sp.Add(fmt.Sprintf("x%d", i), 0.5)
+	}
+	b := NewBuilder(sp, nil)
+	v0, v1 := b.Var(0), b.Var(1)
+	c0 := b.CondVal(v0, event.Num(2))
+	c1 := b.CondVal(v1, event.Num(3))
+	s := b.Sum(c0, c1, b.ConstNum(event.Num(1)))
+	g := b.Guard(v0, s)
+	cmp := b.Cmp(event.LE, g, c1)
+	and := b.And(cmp, b.Not(v1))
+	b.Target("t", b.Or(and, b.Var(2)))
+	b.Target("u", and) // shared target node: two targets, overlapping cones
+	return b.Build()
+}
+
+// TestFlatMatchesPointerLayout asserts the CSR view is an exact transcription
+// of the pointer DAG: kinds, child spans in declaration order, parent spans
+// in increasing-id order, operators, and CondVal payloads.
+func TestFlatMatchesPointerLayout(t *testing.T) {
+	n := buildMixedNet()
+	f := n.Flat()
+
+	if len(f.Kind) != len(n.Nodes) {
+		t.Fatalf("Kind has %d entries, net has %d nodes", len(f.Kind), len(n.Nodes))
+	}
+	if len(f.KidOff) != len(n.Nodes)+1 || len(f.ParOff) != len(n.Nodes)+1 {
+		t.Fatalf("offset arrays not nodes+1: kids %d pars %d", len(f.KidOff), len(f.ParOff))
+	}
+	for id := range n.Nodes {
+		nd := &n.Nodes[id]
+		nid := NodeID(id)
+		if f.Kind[id] != nd.Kind {
+			t.Errorf("node %d: kind %v vs %v", id, f.Kind[id], nd.Kind)
+		}
+		kids := f.KidsOf(nid)
+		if len(kids) != len(nd.Kids) || f.NumKids(nid) != len(nd.Kids) {
+			t.Fatalf("node %d: %d kids vs %d", id, len(kids), len(nd.Kids))
+		}
+		for k := range kids {
+			if kids[k] != nd.Kids[k] {
+				t.Errorf("node %d kid %d: %d vs %d", id, k, kids[k], nd.Kids[k])
+			}
+		}
+		pars := f.ParsOf(nid)
+		if len(pars) != len(n.Parents[id]) {
+			t.Fatalf("node %d: %d parents vs %d", id, len(pars), len(n.Parents[id]))
+		}
+		for k := range pars {
+			if pars[k] != n.Parents[id][k] {
+				t.Errorf("node %d parent %d: %d vs %d", id, k, pars[k], n.Parents[id][k])
+			}
+			if k > 0 && pars[k] <= pars[k-1] {
+				t.Errorf("node %d: parent span not strictly increasing at %d", id, k)
+			}
+		}
+		if nd.Kind == KCmp && f.Op[id] != nd.Op {
+			t.Errorf("node %d: op %v vs %v", id, f.Op[id], nd.Op)
+		}
+		if nd.Kind == KCondVal {
+			vi := f.ValIdx[id]
+			if vi < 0 || int(vi) >= len(f.Vals) {
+				t.Fatalf("node %d: ValIdx %d out of range", id, vi)
+			}
+			if !f.Vals[vi].Equal(nd.Val) {
+				t.Errorf("node %d: val %v vs %v", id, f.Vals[vi], nd.Val)
+			}
+		} else if f.ValIdx[id] != -1 {
+			t.Errorf("node %d: non-CondVal has ValIdx %d", id, f.ValIdx[id])
+		}
+	}
+	// CSR invariants: offsets monotone, spans tile the shared slices exactly.
+	if f.KidOff[0] != 0 || f.ParOff[0] != 0 {
+		t.Error("offset arrays do not start at 0")
+	}
+	if int(f.KidOff[len(n.Nodes)]) != len(f.Kids) || int(f.ParOff[len(n.Nodes)]) != len(f.Pars) {
+		t.Error("final offsets do not cover the shared slices")
+	}
+}
+
+// TestFlatCached asserts the view is built once and shared.
+func TestFlatCached(t *testing.T) {
+	n := buildMixedNet()
+	if n.Flat() != n.Flat() {
+		t.Fatal("Flat() rebuilt the layout on second use")
+	}
+}

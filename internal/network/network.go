@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"sync"
 
 	"enframe/internal/event"
 	"enframe/internal/obs"
@@ -136,6 +137,10 @@ type Net struct {
 	// VarNode maps each random variable to its leaf node (NoNode when the
 	// variable does not occur in the network).
 	VarNode []NodeID
+
+	// flat is the lazily built structure-of-arrays view (see Flat).
+	flatOnce sync.Once
+	flat     *Flat
 }
 
 // NumNodes reports the network size.

@@ -1,0 +1,84 @@
+package prob
+
+import "math/bits"
+
+// bitset is a packed array of single-bit flags in uint64 words. The flat
+// compilation core keeps the three-valued Boolean masks of the event network
+// in two of these planes (decided-true and decided-false), so a node's truth
+// value costs 2 bits instead of a 56-byte nmask, snapshot and restore at
+// distributed fork markers are word-wide memmoves, and population counts run
+// 64 nodes per instruction.
+type bitset []uint64
+
+// bitsetWords returns the word count covering n bits.
+func bitsetWords(n int) int { return (n + 63) >> 6 }
+
+func newBitset(n int) bitset { return make(bitset, bitsetWords(n)) }
+
+// get reports bit i.
+func (b bitset) get(i int32) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// set sets bit i.
+func (b bitset) set(i int32) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// clear clears bit i.
+func (b bitset) clear(i int32) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// setTo writes bit i to v.
+func (b bitset) setTo(i int32, v bool) {
+	if v {
+		b.set(i)
+	} else {
+		b.clear(i)
+	}
+}
+
+// popcount returns the number of set bits, 64 per word-wide instruction.
+func (b bitset) popcount() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// copyFrom overwrites b with src (same length), one memmove.
+func (b bitset) copyFrom(src bitset) { copy(b, src) }
+
+// clone returns an independent copy.
+func (b bitset) clone() bitset { return append(bitset(nil), b...) }
+
+// zero clears every word.
+func (b bitset) zero() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Three-valued truth values over two planes: a node is true iff its bit is
+// set in the decided-true plane, false iff set in the decided-false plane,
+// unknown otherwise. At most one plane holds the bit; bval3 folds the pair
+// back into the legacy int8 encoding so both cores share derivation helpers.
+func bval3(decT, decF bitset, id int32) int8 {
+	w, m := id>>6, uint64(1)<<(uint(id)&63)
+	if decT[w]&m != 0 {
+		return bTrue
+	}
+	if decF[w]&m != 0 {
+		return bFalse
+	}
+	return bUnknown
+}
+
+// setBval3 writes the legacy-encoded truth value v into the planes.
+func setBval3(decT, decF bitset, id int32, v int8) {
+	w, m := id>>6, uint64(1)<<(uint(id)&63)
+	decT[w] &^= m
+	decF[w] &^= m
+	switch v {
+	case bTrue:
+		decT[w] |= m
+	case bFalse:
+		decF[w] |= m
+	}
+}

@@ -110,6 +110,10 @@ func CompileCtx(ctx context.Context, net *network.Net, opts Options) (*Result, e
 	stats.Duration = time.Since(start)
 	stats.NetworkNodes = net.NumNodes()
 	stats.Timings.Order = orderDur
+	if !opts.LegacyCore {
+		stats.MaskWords = int64(bitsetWords(net.NumNodes()))
+	}
+	stats.BatchTargets = int64(len(net.Targets))
 
 	span.SetInt("branches", stats.Branches)
 	span.SetInt("max_depth", stats.MaxDepth)
@@ -125,6 +129,8 @@ func CompileCtx(ctx context.Context, net *network.Net, opts Options) (*Result, e
 		reg.Counter("prob.mask_updates").Add(stats.MaskUpdates)
 		reg.Counter("prob.budget_prunes").Add(stats.BudgetPrunes)
 		reg.Counter("prob.jobs").Add(stats.Jobs)
+		reg.Counter("prob.mask_words").Add(stats.MaskWords)
+		reg.Counter("prob.batch_targets").Add(stats.BatchTargets)
 		reg.Gauge("prob.tree.max_depth").SetMax(float64(stats.MaxDepth))
 	}
 	if run.canceled.Load() {
@@ -168,7 +174,6 @@ type runner struct {
 	stop     atomic.Bool // set on timeout or external abort
 	timedOut atomic.Bool
 	canceled atomic.Bool // set when the compile context was cancelled
-	pristine *state      // shared post-init snapshot for distributed jobs
 	// queue is the distributed work queue, published so the cancellation
 	// watcher can wake workers parked on its condition variable.
 	queue atomic.Pointer[workQueue]
@@ -193,10 +198,11 @@ func (r *runner) leaseBudgetBuf(n int) []float64 {
 func (r *runner) runSequential() Stats {
 	tInit := time.Now()
 	initSpan := r.span.Start("init")
-	s := r.attach(newState(r.net, r.types, r.opts, r.bounds))
+	s := r.attach(newCompCore(r.net, r.types, r.opts, r.bounds))
 	s.initAll()
 	initSpan.End()
-	s.stats.Timings.Init = time.Since(tInit)
+	st := s.st()
+	st.Timings.Init = time.Since(tInit)
 
 	tExplore := time.Now()
 	exploreSpan := r.span.Start("explore")
@@ -208,27 +214,25 @@ func (r *runner) runSequential() Stats {
 		}
 	}
 	w.dfs(0, 0, -1, false, 1, E)
-	exploreSpan.SetInt("branches", s.stats.Branches)
+	exploreSpan.SetInt("branches", st.Branches)
 	exploreSpan.End()
-	s.stats.Timings.Explore = time.Since(tExplore)
-	s.stats.Jobs = 1
-	return s.stats
+	st.Timings.Explore = time.Since(tExplore)
+	st.Jobs = 1
+	return *st
 }
 
 // attach wires the runner's order and abort machinery into a worker state.
-func (r *runner) attach(s *state) *state {
-	s.order = r.order
-	s.deadline = r.deadline
-	s.stopFlag = &r.stop
-	s.timedFlag = &r.timedOut
+func (r *runner) attach(s compCore) compCore {
+	s.attachRun(r.order, r.deadline, &r.stop, &r.timedOut)
 	return s
 }
 
-// walker runs the depth-first Shannon expansion over one state. In
-// distributed mode forkDepth > 0 makes it enqueue a continuation job instead
-// of descending past that many local assignments.
+// walker runs the depth-first Shannon expansion over one state (either
+// core implementation; see compCore). In distributed mode forkDepth > 0
+// makes it enqueue a continuation job instead of descending past that many
+// local assignments.
 type walker struct {
-	state     *state
+	state     compCore
 	run       *runner
 	forkDepth int
 	// fork ships the current masks as a new job; it reports false when
@@ -254,11 +258,12 @@ type walker struct {
 func (w *walker) dfs(depth, oi int, x event.VarID, xval bool, p float64, E []float64) {
 	s := w.state
 	r := w.run
-	s.stats.Branches++
-	if int64(depth) > s.stats.MaxDepth {
-		s.stats.MaxDepth = int64(depth)
+	st := s.st()
+	st.Branches++
+	if int64(depth) > st.MaxDepth {
+		st.MaxDepth = int64(depth)
 	}
-	if s.stats.Branches&1023 == 0 {
+	if st.Branches&1023 == 0 {
 		r.checkDeadline()
 	}
 	if r.stop.Load() || p == 0 {
@@ -268,7 +273,7 @@ func (w *walker) dfs(depth, oi int, x event.VarID, xval bool, p float64, E []flo
 	// Budget pruning: when every target's budget covers the whole subtree
 	// mass, cut the subtree and consume the budget.
 	if budgeted && p <= minOf(E) {
-		s.stats.BudgetPrunes++
+		st.BudgetPrunes++
 		if r.timeline != nil {
 			for i := range E {
 				r.timeline.Add(i, p)
@@ -279,7 +284,7 @@ func (w *walker) dfs(depth, oi int, x event.VarID, xval bool, p float64, E []flo
 		}
 		return
 	}
-	mark := len(s.trail)
+	mark := s.trailMark()
 	if x >= 0 {
 		s.assign(x, xval, p)
 		w.localVars++
@@ -306,7 +311,7 @@ func (w *walker) dfs(depth, oi int, x event.VarID, xval bool, p float64, E []flo
 	default:
 		oi2, y, ok := s.nextVar(oi)
 		if ok {
-			py := s.net.Space.Prob(y)
+			py := r.net.Space.Prob(y)
 			switch r.opts.Strategy {
 			case Hybrid:
 				L := w.buf(depth, len(E))
@@ -324,7 +329,7 @@ func (w *walker) dfs(depth, oi int, x event.VarID, xval bool, p float64, E []flo
 			}
 			// Algorithm 1: explore the right branch only while some
 			// target's bounds exceed 2ε.
-			if !r.stop.Load() && !s.bounds.allTight() {
+			if !r.stop.Load() && !r.bounds.allTight() {
 				w.dfs(depth+1, oi2+1, y, false, p*(1-py), E)
 			}
 		}

@@ -65,8 +65,8 @@ func CompileExecObserve(ctx context.Context, net *network.Net, opts Options, exe
 	book := newBoundsBook(len(net.Targets), eps2)
 	tInit := time.Now()
 	initSpan := span.Start("init")
-	init := newState(net, types, opts, book)
-	init.order = order
+	init := newCompCore(net, types, opts, book)
+	init.attachRun(order, time.Time{}, nil, nil)
 	init.initAll()
 	initSpan.End()
 	initDur := time.Since(tInit)
@@ -284,7 +284,11 @@ func CompileExecObserve(ctx context.Context, net *network.Net, opts Options, exe
 	}
 	merge()
 
-	total.MaskUpdates += init.stats.MaskUpdates
+	total.MaskUpdates += init.st().MaskUpdates
+	if !opts.LegacyCore {
+		total.MaskWords = int64(bitsetWords(net.NumNodes()))
+	}
+	total.BatchTargets = int64(len(net.Targets))
 	total.NetworkNodes = net.NumNodes()
 	total.Timings.Order = orderDur
 	total.Timings.Init = initDur
@@ -299,6 +303,8 @@ func CompileExecObserve(ctx context.Context, net *network.Net, opts Options, exe
 		reg.Counter("prob.mask_updates").Add(total.MaskUpdates)
 		reg.Counter("prob.budget_prunes").Add(total.BudgetPrunes)
 		reg.Counter("prob.jobs").Add(total.Jobs)
+		reg.Counter("prob.mask_words").Add(total.MaskWords)
+		reg.Counter("prob.batch_targets").Add(total.BatchTargets)
 		reg.Gauge("prob.tree.max_depth").SetMax(float64(total.MaxDepth))
 	}
 

@@ -1,0 +1,128 @@
+package prob
+
+import (
+	"sync/atomic"
+	"time"
+
+	"enframe/internal/event"
+	"enframe/internal/network"
+	"enframe/internal/vec"
+)
+
+// compCore abstracts one worker's compilation state so the Shannon-expansion
+// walker and every distributed driver (in-process queue, simulated cluster,
+// session/executor job replay) run unchanged over both implementations:
+//
+//   - the legacy pointer-DAG state of mask.go, one 56-byte nmask per node
+//     (Options.LegacyCore, kept as the differential oracle), and
+//   - the packed flat core of flat.go, truth values in two uint64 bit planes
+//     over the network's structure-of-arrays layout.
+//
+// Both cores perform the identical sequence of floating-point operations in
+// the identical order, so marginals — and the Stats counters — are
+// bit-identical between them; the equivalence suite in internal/difftest
+// enforces this over generated programs.
+type compCore interface {
+	// attachRun wires the variable order and the runner's abort machinery
+	// into the state. deadline/stop/timed may be zero/nil outside runners.
+	attachRun(order []event.VarID, deadline time.Time, stop, timed *atomic.Bool)
+	// initAll runs the initial bottom-up mask pass; targets decided by it
+	// are recorded with the full unit mass.
+	initAll()
+	// assign pushes x ↦ v with branch mass p and propagates (Algorithm 2).
+	assign(x event.VarID, v bool, p float64)
+	// trailMark/undoTo bracket one branch: undoTo restores masks bit-exactly
+	// to the state at the matching trailMark.
+	trailMark() int
+	undoTo(mark int)
+	// clearTrail drops the trail without undoing (job adoption/replay).
+	clearTrail()
+	// nextVar returns the next influential unassigned variable at or after
+	// order position oi.
+	nextVar(oi int) (int, event.VarID, bool)
+	// allSettled reports the termination condition of Algorithm 1.
+	allSettled() bool
+	// st exposes the state's work counters.
+	st() *Stats
+	// setRecording gates target-bound accumulation (off during job replay).
+	setRecording(bool)
+	// setOnAdd installs the bound-contribution observer (session executors).
+	setOnAdd(func(ti int, isTrue bool, p float64))
+	// snapshotFrom resets to a pristine post-init state of the same type.
+	snapshotFrom(pristine compCore)
+	// forkSnap deep-copies the current masks as a shippable job snapshot;
+	// shareSnap hands out the live arrays (only safe for a pristine state
+	// that is never touched again, i.e. the root job).
+	forkSnap() coreSnap
+	shareSnap() coreSnap
+	// adoptSnap installs a snapshot, replacing the current masks.
+	adoptSnap(coreSnap)
+}
+
+// coreSnap is an opaque mask snapshot shipped inside an in-process job;
+// each core adopts only its own snapshot type.
+type coreSnap interface{ snapUnmasked() int }
+
+// newCompCore builds the state implementation selected by opts.
+func newCompCore(net *network.Net, types []network.ValueType, opts Options, bounds *boundsBook) compCore {
+	if opts.LegacyCore {
+		return newState(net, types, opts, bounds)
+	}
+	return newFstate(net, types, opts, bounds)
+}
+
+// stateSnap is the legacy core's job snapshot: the full per-node nmask
+// array plus target bookkeeping.
+type stateSnap struct {
+	masks     []nmask
+	vecVals   []vec.Vec
+	tMasked   []bool
+	nUnmasked int
+}
+
+func (sn *stateSnap) snapUnmasked() int { return sn.nUnmasked }
+
+func (s *state) attachRun(order []event.VarID, deadline time.Time, stop, timed *atomic.Bool) {
+	s.order = order
+	s.deadline = deadline
+	s.stopFlag = stop
+	s.timedFlag = timed
+}
+
+func (s *state) trailMark() int  { return len(s.trail) }
+func (s *state) clearTrail()     { s.trail = s.trail[:0] }
+func (s *state) st() *Stats      { return &s.stats }
+func (s *state) setRecording(on bool) { s.recording = on }
+func (s *state) setOnAdd(fn func(ti int, isTrue bool, p float64)) { s.onAdd = fn }
+
+func (s *state) forkSnap() coreSnap {
+	sn := &stateSnap{
+		masks:     append([]nmask(nil), s.masks...),
+		tMasked:   append([]bool(nil), s.tMasked...),
+		nUnmasked: s.nUnmasked,
+	}
+	if s.vecVals != nil {
+		sn.vecVals = append([]vec.Vec(nil), s.vecVals...)
+	}
+	return sn
+}
+
+func (s *state) shareSnap() coreSnap {
+	return &stateSnap{
+		masks:     s.masks,
+		vecVals:   s.vecVals,
+		tMasked:   s.tMasked,
+		nUnmasked: s.nUnmasked,
+	}
+}
+
+func (s *state) adoptSnap(c coreSnap) {
+	sn := c.(*stateSnap)
+	s.masks = sn.masks
+	s.tMasked = sn.tMasked
+	if sn.vecVals != nil {
+		s.vecVals = sn.vecVals
+	}
+	s.nUnmasked = sn.nUnmasked
+	s.trail = s.trail[:0]
+}

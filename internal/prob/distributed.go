@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"enframe/internal/obs"
-	"enframe/internal/vec"
 )
 
 // Distributed compilation (§4.4): the decision tree is split into jobs of
@@ -21,13 +20,10 @@ import (
 // the boundary locally instead of forking, bounding queue memory.
 
 type job struct {
-	masks     []nmask
-	vecVals   []vec.Vec
-	tMasked   []bool
-	nUnmasked int
-	oi        int
-	p         float64
-	E         []float64
+	snap coreSnap
+	oi   int
+	p    float64
+	E    []float64
 }
 
 type workQueue struct {
@@ -154,7 +150,7 @@ func (r *runner) runDistributed() Stats {
 	// records targets decided without any assignment.
 	tInit := time.Now()
 	initSpan := r.span.Start("init")
-	pristine := r.attach(newState(r.net, r.types, r.opts, r.bounds))
+	pristine := r.attach(newCompCore(r.net, r.types, r.opts, r.bounds))
 	pristine.initAll()
 	initSpan.End()
 	initDur := time.Since(tInit)
@@ -183,15 +179,7 @@ func (r *runner) runDistributed() Stats {
 			E0[i] = 2 * r.opts.Epsilon
 		}
 	}
-	queue.push(job{
-		masks:     pristine.masks,
-		vecVals:   pristine.vecVals,
-		tMasked:   pristine.tMasked,
-		nUnmasked: pristine.nUnmasked,
-		oi:        0,
-		p:         1,
-		E:         E0,
-	})
+	queue.push(job{snap: pristine.shareSnap(), oi: 0, p: 1, E: E0})
 
 	type workerReport struct {
 		id    int
@@ -209,7 +197,8 @@ func (r *runner) runDistributed() Stats {
 			wspan.SetInt("id", int64(wi))
 			defer wspan.End()
 			var busy time.Duration
-			s := r.attach(newState(r.net, r.types, r.opts, r.bounds))
+			s := r.attach(newCompCore(r.net, r.types, r.opts, r.bounds))
+			st := s.st()
 			w := &walker{state: s, run: r, forkDepth: r.opts.JobDepth}
 			w.fork = func(oi int, p float64, E []float64) bool {
 				if !queue.hasRoom() {
@@ -217,18 +206,8 @@ func (r *runner) runDistributed() Stats {
 					return false
 				}
 				forkedC.Add(1)
-				j := job{
-					masks:     append([]nmask(nil), s.masks...),
-					tMasked:   append([]bool(nil), s.tMasked...),
-					nUnmasked: s.nUnmasked,
-					oi:        oi,
-					p:         p,
-					E:         append([]float64(nil), E...),
-				}
-				if s.vecVals != nil {
-					j.vecVals = append([]vec.Vec(nil), s.vecVals...)
-				}
-				queue.push(j)
+				queue.push(job{snap: s.forkSnap(), oi: oi, p: p,
+					E: append([]float64(nil), E...)})
 				return true
 			}
 			for {
@@ -236,16 +215,16 @@ func (r *runner) runDistributed() Stats {
 				if !ok {
 					break
 				}
-				s.stats.Jobs++
+				st.Jobs++
 				t0 := time.Now()
 				r.runJob(w, pool, j)
 				busy += time.Since(t0)
 				queue.done()
 			}
-			wspan.SetInt("jobs", s.stats.Jobs)
-			wspan.SetInt("branches", s.stats.Branches)
+			wspan.SetInt("jobs", st.Jobs)
+			wspan.SetInt("branches", st.Branches)
 			wspan.SetDuration("busy_ms", busy)
-			statsCh <- workerReport{id: wi, stats: s.stats, busy: busy}
+			statsCh <- workerReport{id: wi, stats: *st, busy: busy}
 		}(wi)
 	}
 	wg.Wait()
@@ -264,7 +243,7 @@ func (r *runner) runDistributed() Stats {
 		}
 		total.PerWorker[rep.id] = WorkerStats{Jobs: st.Jobs, Branches: st.Branches, Busy: rep.busy}
 	}
-	total.MaskUpdates += pristine.stats.MaskUpdates
+	total.MaskUpdates += pristine.st().MaskUpdates
 	total.Timings.Init = initDur
 	total.Timings.Explore = time.Since(tExplore)
 	if reg := r.opts.Obs.Metrics(); reg != nil {
@@ -283,19 +262,13 @@ func (r *runner) runJob(w *walker, pool *budgetPool, j job) {
 	if r.opts.Strategy.budgeted() {
 		defer pool.deposit(j.E)
 	}
-	if r.stop.Load() || s.bounds.allTight() {
+	if r.stop.Load() || r.bounds.allTight() {
 		return
 	}
 	if debugHook != nil {
-		debugHook("job p=%g oi=%d unmasked=%d\n", j.p, j.oi, j.nUnmasked)
+		debugHook("job p=%g oi=%d unmasked=%d\n", j.p, j.oi, j.snap.snapUnmasked())
 	}
-	s.masks = j.masks
-	s.tMasked = j.tMasked
-	if j.vecVals != nil {
-		s.vecVals = j.vecVals
-	}
-	s.nUnmasked = j.nUnmasked
-	s.trail = s.trail[:0]
+	s.adoptSnap(j.snap)
 	w.localVars = 0
 	if r.opts.Strategy.budgeted() {
 		pool.withdraw(j.E)
@@ -313,7 +286,7 @@ func (r *runner) runJob(w *walker, pool *budgetPool, j job) {
 func (r *runner) runSimulated() Stats {
 	tInit := time.Now()
 	initSpan := r.span.Start("init")
-	pristine := r.attach(newState(r.net, r.types, r.opts, r.bounds))
+	pristine := r.attach(newCompCore(r.net, r.types, r.opts, r.bounds))
 	pristine.initAll()
 	initSpan.End()
 	initDur := time.Since(tInit)
@@ -336,18 +309,11 @@ func (r *runner) runSimulated() Stats {
 		}
 	}
 	stack = append(stack, simJob{
-		job: job{
-			masks:     pristine.masks,
-			vecVals:   pristine.vecVals,
-			tMasked:   pristine.tMasked,
-			nUnmasked: pristine.nUnmasked,
-			oi:        0,
-			p:         1,
-			E:         E0,
-		},
+		job: job{snap: pristine.shareSnap(), oi: 0, p: 1, E: E0},
 	})
 
-	s := r.attach(newState(r.net, r.types, r.opts, r.bounds))
+	s := r.attach(newCompCore(r.net, r.types, r.opts, r.bounds))
+	st := s.st()
 	w := &walker{state: s, run: r, forkDepth: r.opts.JobDepth}
 	workers := make([]time.Duration, r.opts.Workers)
 	busyPer := make([]time.Duration, r.opts.Workers)
@@ -365,18 +331,8 @@ func (r *runner) runSimulated() Stats {
 			return false
 		}
 		forkedC.Add(1)
-		j := job{
-			masks:     append([]nmask(nil), s.masks...),
-			tMasked:   append([]bool(nil), s.tMasked...),
-			nUnmasked: s.nUnmasked,
-			oi:        oi,
-			p:         p,
-			E:         append([]float64(nil), E...),
-		}
-		if s.vecVals != nil {
-			j.vecVals = append([]vec.Vec(nil), s.vecVals...)
-		}
-		forked = append(forked, j)
+		forked = append(forked, job{snap: s.forkSnap(), oi: oi, p: p,
+			E: append([]float64(nil), E...)})
 		return true
 	}
 
@@ -384,7 +340,7 @@ func (r *runner) runSimulated() Stats {
 	for len(stack) > 0 {
 		sj := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		s.stats.Jobs++
+		st.Jobs++
 		forked = forked[:0]
 		t0 := time.Now()
 		r.runJob(w, pool, sj.job)
@@ -412,21 +368,21 @@ func (r *runner) runSimulated() Stats {
 			stack = append(stack, simJob{job: j, ready: end})
 		}
 	}
-	s.stats.SimulatedMakespan = makespan
-	s.stats.MaskUpdates += pristine.stats.MaskUpdates
-	s.stats.Timings.Init = initDur
-	s.stats.Timings.Explore = time.Since(tExplore)
-	s.stats.PerWorker = make([]WorkerStats, r.opts.Workers)
-	for wi := range s.stats.PerWorker {
-		s.stats.PerWorker[wi] = WorkerStats{Jobs: jobsPer[wi], Busy: busyPer[wi]}
+	st.SimulatedMakespan = makespan
+	st.MaskUpdates += pristine.st().MaskUpdates
+	st.Timings.Init = initDur
+	st.Timings.Explore = time.Since(tExplore)
+	st.PerWorker = make([]WorkerStats, r.opts.Workers)
+	for wi := range st.PerWorker {
+		st.PerWorker[wi] = WorkerStats{Jobs: jobsPer[wi], Busy: busyPer[wi]}
 	}
-	dspan.SetInt("jobs", s.stats.Jobs)
+	dspan.SetInt("jobs", st.Jobs)
 	dspan.SetDuration("virtual_makespan_ms", makespan)
 	if reg := r.opts.Obs.Metrics(); reg != nil {
-		for wi, ws := range s.stats.PerWorker {
+		for wi, ws := range st.PerWorker {
 			reg.Gauge(fmt.Sprintf("prob.worker.%d.utilization", wi)).
 				Set(ws.Utilization(makespan))
 		}
 	}
-	return s.stats
+	return *st
 }

@@ -1,0 +1,1126 @@
+package prob
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"enframe/internal/event"
+	"enframe/internal/network"
+	"enframe/internal/vec"
+)
+
+// fstate is the bit-parallel flat compilation core: the default compCore
+// implementation (Options.LegacyCore opts back into the nmask walker).
+//
+// Where the legacy core keeps one 56-byte nmask per node and copies whole
+// structs onto the trail and propagation queue, fstate stores each mask
+// component in a contiguous slice indexed by node id over the network's
+// structure-of-arrays layout (network.Flat):
+//
+//   - the three-valued truth value lives in two uint64 bit planes, decT and
+//     decF (set bit = decided true / decided false, both clear = unknown),
+//     so snapshots and restores are word-wide copies;
+//   - valKind and flags pack into one byte (vkf: valKind in bits 0–1, flags
+//     shifted up by 2);
+//   - lo/hi bounds and the c1 counter are dense float64/int32 slices;
+//   - the Σ-only aggregates (c2–c4, sumLo/sumHi) live in a dense side table
+//     indexed through the record's aux index, so non-Σ nodes pay nothing
+//     for them.
+//
+// The trail packs one uint64 per touched node — id, a kind-class tag, and
+// the old truth bits — with small side stacks for counters, numeric
+// abstracts, and Σ aggregates, replacing the legacy 64-byte trail entries.
+//
+// fstate performs the identical sequence of floating-point operations in the
+// identical order as the legacy core — including its incremental Σ
+// accounting, interval-based comparison decisions, and the fresh
+// recomputation of exact values at decision-tree leaves — so marginals and
+// Stats counters are bit-identical between the cores. The derivation
+// functions below are line-for-line mirrors of mask.go/propagate.go; change
+// them in lockstep (the equivalence suite in internal/difftest will catch
+// divergence).
+type fstate struct {
+	net    *network.Net
+	flat   *network.Flat
+	types  []network.ValueType
+	opts   Options
+	bounds *boundsBook
+	stats  Stats
+	order  []event.VarID
+
+	// targetsAt[id] is -1 or an index into targetLists.
+	targetsAt   []int32
+	targetLists [][]int
+
+	// decT/decF are the packed truth planes; ab the per-node numeric
+	// abstract and propagation scratch (see nabs); sums the dense Σ
+	// aggregates reached via nabs.aux.
+	decT, decF bitset
+	// open has a bit set for every node not yet decided — the propagation
+	// loop tests it to skip parents whose update would early-return, saving
+	// the call. Maintained by the commit/undo paths in lockstep with the
+	// truth planes and vkf kinds.
+	open bitset
+	ab   []nabs
+	sums []sumAgg
+
+	// vecVals holds decided vector values; entries are only read while the
+	// owning node is decided as vkVec, so stale values after undo are
+	// harmless. Nil when the network has no vector-typed nodes.
+	vecVals []vec.Vec
+
+	// The packed trail: one word per touched node plus side stacks popped
+	// in step with the backward id walk during undo — one ntrail entry for
+	// every class that carries a counter or numeric abstract, one sumAgg
+	// for Σ nodes.
+	trailIDs  []uint64
+	trailNums []ntrail
+	trailSums []sumAgg
+
+	// level numbers assignments; nabs.trailedAt deduplicates trail entries
+	// so a node repeatedly tightened within one assignment wave is recorded
+	// once, with its state from the start of the wave.
+	level int32
+	// queue entries carry the node's visible abstract at enqueue time — the
+	// oldC parents diff against — inline, so propagation reads and writes
+	// the queue sequentially instead of scattering over per-node arrays.
+	queue []qent
+
+	// Dense per-kind derivation tables, reached through the record's aux
+	// index, so the hot derives load one small record instead of walking
+	// the CSR kid spans:
+	//
+	//   - cmpAux (KCmp) holds both kid ids and the operator;
+	//   - guardAux (KGuard) holds the condition and value kid ids;
+	//   - condAux (KCondVal) holds the guard kid id and the Vals index.
+	//
+	// cvTrue/cvUnk are per-KCondVal precomputed abstracts (indexed like
+	// Flat.Vals): the node's fixed c-value makes the derived mask a
+	// constant for each guard state, so the hot ⊗-derivation reduces to a
+	// three-way copy. cvVec marks vector-valued entries that must also
+	// install the side-pool value when the guard turns true.
+	cmpAux   []cmpRec
+	guardAux [][2]network.NodeID
+	condAux  []condRec
+	cvTrue   []fnum
+	cvUnk    []fnum
+	cvVec    []bool
+
+	// nUnmasked counts targets not yet masked under the current branch;
+	// tMasked holds the same per target.
+	nUnmasked int
+	tMasked   []bool
+	// curMass is Pr(ν) of the assignment being propagated.
+	curMass float64
+
+	deadline   time.Time
+	stopFlag   *atomic.Bool
+	timedFlag  *atomic.Bool
+	assignTick uint32
+	recording  bool
+	onAdd      func(ti int, isTrue bool, p float64)
+}
+
+// sumAgg is the Σ-node aggregate block: counters for children that may be
+// undefined (c2), may be defined (c3), and have no usable bounds (c4), plus
+// the contribution sums over the bounded children.
+type sumAgg struct {
+	c2, c3, c4   int32
+	sumLo, sumHi float64
+}
+
+// nabs is one node's packed numeric abstract plus propagation scratch,
+// laid out so touching a node during propagation covers everything a commit
+// reads and writes — bounds, the c1 counter, the vkf byte, the trail-class
+// tag, the queued flag, the trail-dedup level, and the Σ side-table index —
+// in one 32-byte record (two per cache line) instead of seven parallel
+// slices and as many cache misses.
+type nabs struct {
+	lo, hi    float64
+	cnt       int32
+	trailedAt int32
+	aux       int32
+	vkf       uint8
+	tag       uint8
+	queued    bool
+	kind      network.Kind
+}
+
+// fnum is one packed numeric abstract: the vkf byte and bounds.
+type fnum struct {
+	vkf    uint8
+	lo, hi float64
+}
+
+// ntrail is one counter/numeric trail record.
+type ntrail struct {
+	vkf    uint8
+	cnt    int32
+	lo, hi float64
+}
+
+// cmpRec is one KCmp node's derivation record: both kid ids and the
+// comparison operator.
+type cmpRec struct {
+	l, r network.NodeID
+	op   event.CmpOp
+}
+
+// condRec is one KCondVal node's derivation record: the guard kid and the
+// index of the node's fixed c-value in Flat.Vals (and the cv* tables).
+type condRec struct {
+	g  network.NodeID
+	vi int32
+}
+
+// qent is one propagation-queue entry: the node plus its visible abstract
+// at enqueue time.
+type qent struct {
+	id      network.NodeID
+	oldBval int8
+	oldVkf  uint8
+	oldLo   float64
+	oldHi   float64
+}
+
+// Trail classes. The low two tag bits select which side stacks an entry
+// pops on undo; tagTarget marks compilation-target nodes so the hot commit
+// and undo paths can skip the targetsAt lookup for the vast majority of
+// nodes that are not targets.
+const (
+	tagBool    uint8 = iota // truth bits only (KVar/KConst/KNot/KCmp)
+	tagBoolCnt              // truth bits + c1 (KAnd/KOr)
+	tagNum                  // c1 + vkf/lo/hi (guard, ⊗, opaque numerics)
+	tagSum                  // tagNum + Σ aggregates
+
+	tagClass  uint8 = 3
+	tagTarget uint8 = 1 << 7
+)
+
+func newFstate(net *network.Net, types []network.ValueType, opts Options, bounds *boundsBook) *fstate {
+	nn := len(net.Nodes)
+	f := net.Flat()
+	s := &fstate{
+		net: net, flat: f, types: types, opts: opts, bounds: bounds,
+		targetsAt: make([]int32, nn),
+		decT:      newBitset(nn),
+		decF:      newBitset(nn),
+		open:      newBitset(nn),
+		ab:        make([]nabs, nn),
+		recording: true,
+	}
+	nSums := int32(0)
+	for id := 0; id < nn; id++ {
+		s.targetsAt[id] = -1
+		a := &s.ab[id]
+		a.trailedAt = -1
+		a.aux = -1
+		a.kind = f.Kind[id]
+		switch f.Kind[id] {
+		case network.KVar, network.KConst, network.KNot:
+			a.tag = tagBool
+		case network.KCmp:
+			a.tag = tagBool
+			kids := f.KidsOf(network.NodeID(id))
+			a.aux = int32(len(s.cmpAux))
+			s.cmpAux = append(s.cmpAux, cmpRec{l: kids[0], r: kids[1], op: f.Op[id]})
+		case network.KAnd, network.KOr:
+			a.tag = tagBoolCnt
+		case network.KSum:
+			a.tag = tagSum
+			a.aux = nSums
+			nSums++
+		case network.KGuard:
+			a.tag = tagNum
+			kids := f.KidsOf(network.NodeID(id))
+			a.aux = int32(len(s.guardAux))
+			s.guardAux = append(s.guardAux, [2]network.NodeID{kids[0], kids[1]})
+		case network.KCondVal:
+			a.tag = tagNum
+			kids := f.KidsOf(network.NodeID(id))
+			a.aux = int32(len(s.condAux))
+			s.condAux = append(s.condAux, condRec{g: kids[0], vi: f.ValIdx[id]})
+		default:
+			a.tag = tagNum
+		}
+	}
+	s.sums = make([]sumAgg, nSums)
+	s.cvTrue = make([]fnum, len(f.Vals))
+	s.cvUnk = make([]fnum, len(f.Vals))
+	s.cvVec = make([]bool, len(f.Vals))
+	for vi := range f.Vals {
+		val := &f.Vals[vi]
+		switch val.Kind {
+		case event.Undef:
+			s.cvTrue[vi] = fnum{vkf: vkUndef | (fMayU|fBounded)<<2, lo: math.Inf(1), hi: math.Inf(-1)}
+		case event.Scalar:
+			s.cvTrue[vi] = fnum{vkf: vkScalar | (fMayDef|fBounded)<<2, lo: val.S, hi: val.S}
+		case event.Vector:
+			s.cvTrue[vi] = fnum{vkf: vkVec | fMayDef<<2}
+			s.cvVec[vi] = true
+		}
+		fl := fMayU
+		if !val.IsUndef() {
+			fl |= fMayDef
+		}
+		u := fnum{}
+		if val.Kind == event.Scalar {
+			fl |= fBounded
+			u.lo, u.hi = val.S, val.S
+		}
+		u.vkf = fl << 2
+		s.cvUnk[vi] = u
+	}
+	for i, t := range net.Targets {
+		s.ab[t.Node].tag |= tagTarget
+		if at := s.targetsAt[t.Node]; at >= 0 {
+			s.targetLists[at] = append(s.targetLists[at], i)
+		} else {
+			s.targetsAt[t.Node] = int32(len(s.targetLists))
+			s.targetLists = append(s.targetLists, []int{i})
+		}
+	}
+	for _, t := range types {
+		if t == network.TVector {
+			s.vecVals = make([]vec.Vec, nn)
+			break
+		}
+	}
+	s.nUnmasked = len(net.Targets)
+	s.tMasked = make([]bool, len(net.Targets))
+	return s
+}
+
+func (s *fstate) attachRun(order []event.VarID, deadline time.Time, stop, timed *atomic.Bool) {
+	s.order = order
+	s.deadline = deadline
+	s.stopFlag = stop
+	s.timedFlag = timed
+}
+
+func (s *fstate) trailMark() int { return len(s.trailIDs) }
+
+func (s *fstate) clearTrail() {
+	s.trailIDs = s.trailIDs[:0]
+	s.trailNums = s.trailNums[:0]
+	s.trailSums = s.trailSums[:0]
+}
+
+func (s *fstate) st() *Stats                                      { return &s.stats }
+func (s *fstate) setRecording(on bool)                            { s.recording = on }
+func (s *fstate) setOnAdd(fn func(ti int, isTrue bool, p float64)) { s.onAdd = fn }
+
+func (s *fstate) bval(id network.NodeID) int8      { return bval3(s.decT, s.decF, int32(id)) }
+func (s *fstate) setBval(id network.NodeID, v int8) { setBval3(s.decT, s.decF, int32(id), v) }
+
+// setScalarF finalises a node to a defined scalar value.
+func (s *fstate) setScalarF(id network.NodeID, v float64) {
+	s.ab[id].vkf = vkScalar | (fMayDef|fBounded)<<2
+	s.ab[id].lo, s.ab[id].hi = v, v
+}
+
+// setUndefF finalises a node to u.
+func (s *fstate) setUndefF(id network.NodeID) {
+	s.ab[id].vkf = vkUndef | (fMayU|fBounded)<<2
+	s.ab[id].lo, s.ab[id].hi = math.Inf(1), math.Inf(-1)
+}
+
+// setDecidedValueF finalises a numeric node from an extended value. Like the
+// legacy setVec, the vector case leaves lo/hi untouched — the stale bounds
+// participate in state-equality checks, so both cores must keep them.
+func (s *fstate) setDecidedValueF(id network.NodeID, v event.Value) {
+	switch v.Kind {
+	case event.Undef:
+		s.setUndefF(id)
+	case event.Scalar:
+		s.setScalarF(id, v.S)
+	case event.Vector:
+		s.ab[id].vkf = vkVec | fMayDef<<2
+		s.vecVals[id] = v.V
+	default:
+		panic("prob: boolean value in numeric mask")
+	}
+}
+
+// valueF reconstructs a decided node's extended value.
+func (s *fstate) valueF(id network.NodeID) event.Value {
+	switch s.ab[id].vkf & 3 {
+	case vkUndef:
+		return event.U
+	case vkScalar:
+		return event.Num(s.ab[id].lo)
+	case vkVec:
+		return event.Vect(s.vecVals[id])
+	}
+	panic("prob: value of undecided node")
+}
+
+// hasBoundsF mirrors hasBounds over the packed vkf byte.
+func hasBoundsF(v uint8) bool {
+	if vk := v & 3; vk != vkNone {
+		return vk != vkVec
+	}
+	return v>>2&fBounded != 0
+}
+
+// sumContribF mirrors sumContrib.
+func sumContribF(v uint8, lo, hi float64) (float64, float64) {
+	if vk := v & 3; vk != vkNone {
+		if vk == vkUndef {
+			return 0, 0
+		}
+		return lo, hi // decided scalar: lo == hi == value
+	}
+	if v>>2&fMayU != 0 {
+		lo = math.Min(lo, 0)
+		hi = math.Max(hi, 0)
+	}
+	return lo, hi
+}
+
+// effBoundsF mirrors effBounds.
+func effBoundsF(v uint8, lo, hi float64) (float64, float64, bool, bool) {
+	if vk := v & 3; vk != vkNone {
+		if vk != vkScalar {
+			return 0, 0, vk == vkUndef, false
+		}
+		return lo, hi, false, true
+	}
+	if fl := v >> 2; fl&fBounded != 0 && fl&fMayDef != 0 {
+		return lo, hi, fl&fMayU != 0, true
+	}
+	return 0, 0, true, false
+}
+
+// sumSwapF replaces one child abstract with another in a Σ node's
+// aggregates: remove-all-old then add-all-new, the exact float-op sequence
+// of two legacy sumAccount calls fused into one.
+func (s *fstate) sumSwapF(id network.NodeID, agg *sumAgg, ov uint8, olo, ohi float64, nv uint8, nlo, nhi float64) {
+	s.sumAccF(id, agg, ov, olo, ohi, -1)
+	s.sumAccF(id, agg, nv, nlo, nhi, +1)
+}
+
+// sumAccF adds (sign=+1) or removes (sign=-1) a child abstract (cv/clo/chi)
+// from a Σ node's aggregates; mirrors sumAccount.
+func (s *fstate) sumAccF(id network.NodeID, agg *sumAgg, cv uint8, clo, chi float64, sign int32) {
+	if cv&3 == vkNone {
+		s.ab[id].cnt += sign
+	}
+	fl := cv >> 2
+	if fl&fMayU != 0 {
+		agg.c2 += sign
+	}
+	if fl&fMayDef != 0 {
+		agg.c3 += sign
+	}
+	if !hasBoundsF(cv) {
+		agg.c4 += sign
+	} else {
+		lo, hi := sumContribF(cv, clo, chi)
+		agg.sumLo += float64(sign) * lo
+		agg.sumHi += float64(sign) * hi
+	}
+}
+
+// deriveSumF mirrors deriveSum, writing the node's visible abstract in place.
+func (s *fstate) deriveSumF(id network.NodeID, agg *sumAgg) {
+	kids := s.flat.KidsOf(id)
+	n := int32(len(kids))
+	if s.ab[id].cnt == 0 {
+		// All children decided: recompute the exact value freshly in child
+		// order so leaves match the reference evaluation bit-for-bit.
+		if s.types[id] == network.TVector {
+			v := event.U
+			for _, k := range kids {
+				v = event.Add(v, s.valueF(k))
+			}
+			s.setDecidedValueF(id, v)
+			return
+		}
+		sum := 0.0
+		defined := false
+		for _, k := range kids {
+			if s.ab[k].vkf&3 == vkUndef {
+				continue
+			}
+			sum += s.ab[k].lo
+			defined = true
+		}
+		if defined {
+			s.setScalarF(id, sum)
+		} else {
+			s.setUndefF(id)
+		}
+		return
+	}
+	var fl uint8
+	if agg.c2 == n {
+		fl |= fMayU
+	}
+	if agg.c3 > 0 {
+		fl |= fMayDef
+	}
+	if s.types[id] == network.TScalar && agg.c4 == 0 {
+		fl |= fBounded
+		s.ab[id].lo, s.ab[id].hi = agg.sumLo, agg.sumHi
+	} else {
+		s.ab[id].lo, s.ab[id].hi = 0, 0
+	}
+	s.ab[id].vkf = fl << 2
+}
+
+// deriveOpaqueF mirrors deriveOpaque (KProd/KInv/KPow/KDist).
+func (s *fstate) deriveOpaqueF(id network.NodeID) {
+	kids := s.flat.KidsOf(id)
+	for _, k := range kids {
+		if s.ab[k].vkf&3 == vkUndef {
+			s.setUndefF(id)
+			return
+		}
+	}
+	if s.ab[id].cnt == 0 {
+		s.setDecidedValueF(id, s.evalOpaqueF(id))
+		return
+	}
+	s.ab[id].vkf = (fMayU | fMayDef) << 2
+	s.ab[id].lo, s.ab[id].hi = 0, 0
+}
+
+// evalOpaqueF mirrors evalOpaque.
+func (s *fstate) evalOpaqueF(id network.NodeID) event.Value {
+	kids := s.flat.KidsOf(id)
+	switch s.flat.Kind[id] {
+	case network.KProd:
+		v := event.Num(1)
+		for _, k := range kids {
+			v = event.Mul(v, s.valueF(k))
+		}
+		return v
+	case network.KInv:
+		return event.Inv(s.valueF(kids[0]))
+	case network.KPow:
+		return event.PowVal(s.valueF(kids[0]), s.net.Nodes[id].Exp)
+	case network.KDist:
+		return event.DistVal(s.net.Metric, s.valueF(kids[0]), s.valueF(kids[1]))
+	}
+	panic("prob: evalOpaque on non-opaque node")
+}
+
+// deriveCondValF mirrors deriveCondVal. The node's c-value is fixed, so the
+// derived abstract for each guard state was precomputed in newFstate; each
+// branch fully writes vkf/lo/hi (the zero lo/hi of non-scalar precomputes
+// reproduce the legacy core's reset-then-derive semantics, including setVec
+// leaving the reset bounds in place).
+func (s *fstate) deriveCondValF(id network.NodeID) {
+	c := s.condAux[s.ab[id].aux]
+	vi := c.vi
+	switch s.bval(c.g) {
+	case bTrue:
+		f := &s.cvTrue[vi]
+		s.ab[id].vkf, s.ab[id].lo, s.ab[id].hi = f.vkf, f.lo, f.hi
+		if s.cvVec[vi] {
+			s.vecVals[id] = s.flat.Vals[vi].V
+		}
+	case bFalse:
+		s.setUndefF(id)
+	default:
+		f := &s.cvUnk[vi]
+		s.ab[id].vkf, s.ab[id].lo, s.ab[id].hi = f.vkf, f.lo, f.hi
+	}
+}
+
+// deriveGuardF mirrors deriveGuard; same reset precondition as
+// deriveCondValF.
+func (s *fstate) deriveGuardF(id network.NodeID) {
+	ga := s.guardAux[s.ab[id].aux]
+	g := s.bval(ga[0])
+	vk := ga[1]
+	vv := s.ab[vk].vkf
+	switch g {
+	case bFalse:
+		s.setUndefF(id)
+	case bTrue:
+		if vv&3 != vkNone {
+			s.ab[id].vkf = vv
+			s.ab[id].lo, s.ab[id].hi = s.ab[vk].lo, s.ab[vk].hi
+			if vv&3 == vkVec {
+				s.vecVals[id] = s.vecVals[vk]
+			}
+			return
+		}
+		s.ab[id].vkf = vv & (7 << 2)
+		s.ab[id].lo, s.ab[id].hi = s.ab[vk].lo, s.ab[vk].hi
+	default:
+		fl := fMayU
+		if vv>>2&fMayDef != 0 {
+			fl |= fMayDef
+		}
+		if lo, hi, _, ok := effBoundsF(vv, s.ab[vk].lo, s.ab[vk].hi); ok {
+			fl |= fBounded
+			s.ab[id].lo, s.ab[id].hi = lo, hi
+		}
+		s.ab[id].vkf = fl << 2
+	}
+}
+
+// deriveCmpF mirrors deriveCmp.
+func (s *fstate) deriveCmpF(id network.NodeID) int8 {
+	c := &s.cmpAux[s.ab[id].aux]
+	la, ra := &s.ab[c.l], &s.ab[c.r]
+	lv, rv := la.vkf, ra.vkf
+	if lv&3 == vkUndef || rv&3 == vkUndef {
+		return bTrue
+	}
+	op := c.op
+	if lv&3 == vkScalar && rv&3 == vkScalar {
+		return boolMask(op.Holds(la.lo, ra.lo))
+	}
+	llo, lhi, lMayU, lok := effBoundsF(lv, la.lo, la.hi)
+	rlo, rhi, rMayU, rok := effBoundsF(rv, ra.lo, ra.hi)
+	if !lok || !rok {
+		return bUnknown
+	}
+	sl := s.opts.Slack
+	// True when every defined combination satisfies the operator
+	// (undefined combinations are true regardless).
+	switch op {
+	case event.LE, event.LT:
+		if lhi <= rlo-sl {
+			return bTrue
+		}
+	case event.GE, event.GT:
+		if llo >= rhi+sl {
+			return bTrue
+		}
+	}
+	// False requires both sides certainly defined and the operator
+	// certainly violated.
+	if !lMayU && !rMayU {
+		switch op {
+		case event.LE, event.LT:
+			if llo >= rhi+sl {
+				return bFalse
+			}
+		case event.GE, event.GT:
+			if lhi <= rlo-sl {
+				return bFalse
+			}
+		case event.EQ:
+			if llo >= rhi+sl || rlo >= lhi+sl {
+				return bFalse
+			}
+		}
+	}
+	return bUnknown
+}
+
+// initAll computes the initial mask of every node bottom-up (node ids are
+// topologically ordered); mirrors state.initAll.
+func (s *fstate) initAll() {
+	for id := network.NodeID(0); int(id) < len(s.flat.Kind); id++ {
+		s.initNodeF(id)
+		a := &s.ab[id]
+		if a.tag&tagClass <= tagBoolCnt {
+			s.open.setTo(int32(id), s.bval(id) == bUnknown)
+		} else {
+			s.open.setTo(int32(id), a.vkf&3 == vkNone)
+		}
+		s.stats.MaskUpdates++
+		if at := s.targetsAt[id]; at >= 0 {
+			if v := s.bval(id); v != bUnknown {
+				tis := s.targetLists[at]
+				s.nUnmasked -= len(tis)
+				for _, ti := range tis {
+					s.tMasked[ti] = true
+					if s.recording {
+						s.bounds.add(ti, v == bTrue, 1)
+						if s.onAdd != nil {
+							s.onAdd(ti, v == bTrue, 1)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// initNodeF mirrors initNode over the flat layout.
+func (s *fstate) initNodeF(id network.NodeID) {
+	kids := s.flat.KidsOf(id)
+	switch s.flat.Kind[id] {
+	case network.KVar:
+	case network.KConst:
+		s.setBval(id, boolMask(s.net.Nodes[id].B))
+	case network.KNot:
+		if c := s.bval(kids[0]); c != bUnknown {
+			s.setBval(id, negMask(c))
+		}
+	case network.KAnd:
+		v := bUnknown
+		c1 := int32(0)
+		for _, k := range kids {
+			switch s.bval(k) {
+			case bFalse:
+				v = bFalse
+			case bTrue:
+				c1++
+			}
+		}
+		if v == bUnknown && int(c1) == len(kids) {
+			v = bTrue
+		}
+		s.ab[id].cnt = int32(len(kids)) - c1
+		if v != bUnknown {
+			s.setBval(id, v)
+		}
+	case network.KOr:
+		v := bUnknown
+		c1 := int32(0)
+		for _, k := range kids {
+			switch s.bval(k) {
+			case bTrue:
+				v = bTrue
+			case bFalse:
+				c1++
+			}
+		}
+		if v == bUnknown && int(c1) == len(kids) {
+			v = bFalse
+		}
+		s.ab[id].cnt = int32(len(kids)) - c1
+		if v != bUnknown {
+			s.setBval(id, v)
+		}
+	case network.KCmp:
+		if v := s.deriveCmpF(id); v != bUnknown {
+			s.setBval(id, v)
+		}
+	case network.KCondVal:
+		s.deriveCondValF(id)
+	case network.KGuard:
+		s.deriveGuardF(id)
+	case network.KSum:
+		agg := &s.sums[s.ab[id].aux]
+		for _, k := range kids {
+			s.sumAccF(id, agg, s.ab[k].vkf, s.ab[k].lo, s.ab[k].hi, +1)
+		}
+		s.deriveSumF(id, agg)
+	case network.KProd, network.KInv, network.KPow, network.KDist:
+		for _, k := range kids {
+			if s.ab[k].vkf&3 == vkNone {
+				s.ab[id].cnt++
+			}
+		}
+		s.deriveOpaqueF(id)
+	}
+}
+
+// commitDecide finishes the decision of a counterless Boolean node (KVar,
+// KNot, KCmp): such nodes commit at most once per wave — deciding clears
+// their open bit — and always from the unknown state, so there is no trail
+// dedup to check and no old truth bits to record. The trail word carries the
+// node's target flag (bit 36) so undo consults the target tables only for
+// actual targets. Mirrors commit for the tagBool class.
+func (s *fstate) commitDecide(id network.NodeID, a *nabs, newV int8) {
+	tg := a.tag
+	a.trailedAt = s.level
+	w := uint64(uint32(id)) | uint64(tagBool)<<32
+	if tg&tagTarget != 0 {
+		w |= 1 << 36
+	}
+	s.trailIDs = append(s.trailIDs, w)
+	s.stats.MaskUpdates++
+	s.open.clear(int32(id))
+	if tg&tagTarget != 0 {
+		s.maskTargets(id, newV)
+	}
+	if !a.queued {
+		a.queued = true
+		s.queue = append(s.queue, qent{id: id, oldBval: bUnknown})
+	}
+}
+
+// commitBoolCnt finishes a KAnd/KOr update — a counter move and possibly a
+// decision; the caller already wrote the new truth bits and counter and
+// passes the prior counter. Mirrors commit for the tagBoolCnt class.
+func (s *fstate) commitBoolCnt(id network.NodeID, a *nabs, oldCnt int32, newV int8) {
+	tg := a.tag
+	if a.trailedAt != s.level {
+		a.trailedAt = s.level
+		w := uint64(uint32(id)) | uint64(tagBoolCnt)<<32
+		if tg&tagTarget != 0 {
+			w |= 1 << 36
+		}
+		s.trailIDs = append(s.trailIDs, w)
+		s.trailNums = append(s.trailNums, ntrail{cnt: oldCnt})
+	}
+	s.stats.MaskUpdates++
+	if newV == bUnknown {
+		return // only the counter moved; nothing visible changed
+	}
+	s.open.clear(int32(id))
+	if tg&tagTarget != 0 {
+		s.maskTargets(id, newV)
+	}
+	if !a.queued {
+		a.queued = true
+		s.queue = append(s.queue, qent{id: id, oldBval: bUnknown})
+	}
+}
+
+// maskTargets masks the compilation targets rooted at a node that just
+// decided, accumulating the branch mass into their bounds.
+func (s *fstate) maskTargets(id network.NodeID, newV int8) {
+	tis := s.targetLists[s.targetsAt[id]]
+	s.nUnmasked -= len(tis)
+	for _, ti := range tis {
+		s.tMasked[ti] = true
+		if s.recording {
+			s.bounds.add(ti, newV == bTrue, s.curMass)
+			if s.onAdd != nil {
+				s.onAdd(ti, newV == bTrue, s.curMass)
+			}
+		}
+	}
+}
+
+// commitNum finishes a numeric-node update: the caller already wrote the new
+// abstract into the arrays and passes the prior values. Numeric nodes are
+// never Boolean compilation targets, so no target bookkeeping here.
+func (s *fstate) commitNum(id network.NodeID, a *nabs, oldVkf uint8, oldLo, oldHi float64, oldCnt int32, oldAgg *sumAgg) {
+	if a.trailedAt != s.level {
+		a.trailedAt = s.level
+		tg := a.tag & tagClass
+		s.trailIDs = append(s.trailIDs, uint64(uint32(id))|uint64(tg)<<32)
+		s.trailNums = append(s.trailNums, ntrail{vkf: oldVkf, cnt: oldCnt, lo: oldLo, hi: oldHi})
+		if tg == tagSum {
+			s.trailSums = append(s.trailSums, *oldAgg)
+		}
+	}
+	s.stats.MaskUpdates++
+	if a.vkf == oldVkf && a.lo == oldLo && a.hi == oldHi {
+		return // only counters/sums moved; nothing visible changed
+	}
+	if a.vkf&3 != vkNone {
+		s.open.clear(int32(id))
+	}
+	if !a.queued {
+		a.queued = true
+		s.queue = append(s.queue, qent{id: id, oldBval: bUnknown, oldVkf: oldVkf, oldLo: oldLo, oldHi: oldHi})
+	}
+}
+
+// assign pushes the valuation x ↦ v with branch mass p into the network and
+// propagates masks upward (Algorithm 2); mirrors state.assign.
+func (s *fstate) assign(x event.VarID, v bool, p float64) {
+	s.stats.Assignments++
+	s.assignTick++
+	if s.assignTick&15 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		s.timedFlag.Store(true)
+		s.stopFlag.Store(true)
+	}
+	s.curMass = p
+	s.level++
+	id := s.net.VarNode[x]
+	if id == network.NoNode {
+		return
+	}
+	s.setBval(id, boolMask(v))
+	s.commitDecide(id, &s.ab[id], boolMask(v))
+	s.propagate()
+}
+
+// propagate drains the work queue, updating parents of changed nodes — the
+// inner switch is the former updateParent, fused into the loop so the ~1M
+// parent-edge visits of a large compile pay no call overhead and the queue
+// entry stays in registers. The child's current abstract is loaded once per
+// dequeue, not once per parent: parent updates only ever mutate higher node
+// ids (the network is topologically ordered), so it cannot change inside
+// the loop. Parents are filtered through the open plane, which mirrors
+// "not yet decided" exactly (see commitBool/commitNum/undoTo), replacing
+// the legacy walker's per-call early return. Each case mirrors
+// state.updateParent with the per-class equality checks spelled out (the
+// legacy core compares whole nmask structs).
+func (s *fstate) propagate() {
+	for i := 0; i < len(s.queue); i++ {
+		e := s.queue[i] // by value: commits may grow (reallocate) the queue
+		s.ab[e.id].queued = false
+		var cv int8
+		var cvkf uint8
+		var clo, chi float64
+		if s.ab[e.id].tag&tagClass <= tagBoolCnt {
+			cv = s.bval(e.id)
+		} else {
+			cvkf, clo, chi = s.ab[e.id].vkf, s.ab[e.id].lo, s.ab[e.id].hi
+		}
+		for _, pid := range s.flat.ParsOf(e.id) {
+			if !s.open.get(int32(pid)) {
+				continue // already decided; the trail restores consistently
+			}
+			a := &s.ab[pid]
+			switch a.kind {
+			case network.KNot:
+				nv := negMask(cv)
+				if nv == bUnknown {
+					continue
+				}
+				s.setBval(pid, nv)
+				s.commitDecide(pid, a, nv)
+			case network.KAnd:
+				// cnt counts down the kids still missing a true value, so
+				// the all-true decision is a zero test with no fan-in
+				// lookup.
+				if cv == bFalse {
+					s.setBval(pid, bFalse)
+					s.commitBoolCnt(pid, a, a.cnt, bFalse)
+				} else if cv == bTrue && e.oldBval != bTrue {
+					oldCnt := a.cnt
+					a.cnt--
+					nv := bUnknown
+					if a.cnt == 0 {
+						nv = bTrue
+						s.setBval(pid, bTrue)
+					}
+					s.commitBoolCnt(pid, a, oldCnt, nv)
+				}
+			case network.KOr:
+				if cv == bTrue {
+					s.setBval(pid, bTrue)
+					s.commitBoolCnt(pid, a, a.cnt, bTrue)
+				} else if cv == bFalse && e.oldBval != bFalse {
+					oldCnt := a.cnt
+					a.cnt--
+					nv := bUnknown
+					if a.cnt == 0 {
+						nv = bFalse
+						s.setBval(pid, bFalse)
+					}
+					s.commitBoolCnt(pid, a, oldCnt, nv)
+				}
+			case network.KCmp:
+				nv := s.deriveCmpF(pid)
+				if nv == bUnknown {
+					continue
+				}
+				s.setBval(pid, nv)
+				s.commitDecide(pid, a, nv)
+			case network.KCondVal:
+				oldV, oldL, oldH := a.vkf, a.lo, a.hi
+				s.deriveCondValF(pid)
+				if a.vkf == oldV && a.lo == oldL && a.hi == oldH {
+					continue
+				}
+				s.commitNum(pid, a, oldV, oldL, oldH, 0, nil)
+			case network.KGuard:
+				oldV, oldL, oldH := a.vkf, a.lo, a.hi
+				a.vkf, a.lo, a.hi = 0, 0, 0
+				s.deriveGuardF(pid)
+				if a.vkf == oldV && a.lo == oldL && a.hi == oldH {
+					continue
+				}
+				s.commitNum(pid, a, oldV, oldL, oldH, 0, nil)
+			case network.KSum:
+				oldV, oldL, oldH := a.vkf, a.lo, a.hi
+				agg := &s.sums[a.aux]
+				oldAgg := *agg
+				oldCnt := a.cnt
+				s.sumAccF(pid, agg, e.oldVkf, e.oldLo, e.oldHi, -1)
+				s.sumAccF(pid, agg, cvkf, clo, chi, +1)
+				s.deriveSumF(pid, agg)
+				if a.vkf == oldV && a.lo == oldL && a.hi == oldH &&
+					a.cnt == oldCnt && *agg == oldAgg {
+					continue
+				}
+				s.commitNum(pid, a, oldV, oldL, oldH, oldCnt, &oldAgg)
+			case network.KProd, network.KInv, network.KPow, network.KDist:
+				oldV, oldL, oldH := a.vkf, a.lo, a.hi
+				oldCnt := a.cnt
+				if (e.oldVkf&3 != vkNone) != (cvkf&3 != vkNone) {
+					a.cnt--
+				}
+				s.deriveOpaqueF(pid)
+				if a.vkf == oldV && a.lo == oldL && a.hi == oldH &&
+					a.cnt == oldCnt {
+					continue
+				}
+				s.commitNum(pid, a, oldV, oldL, oldH, oldCnt, nil)
+			}
+		}
+	}
+	s.queue = s.queue[:0]
+}
+
+// undoTo backtracks the trail to a saved mark, restoring masks bit-exactly
+// and reopening targets that were masked past the mark; mirrors
+// state.undoTo. Side stacks pop in step with the backward id walk.
+func (s *fstate) undoTo(mark int) {
+	nn, ns := len(s.trailNums), len(s.trailSums)
+	for i := len(s.trailIDs) - 1; i >= mark; i-- {
+		w := s.trailIDs[i]
+		id := network.NodeID(uint32(w))
+		tg := uint8(w >> 32 & 3)
+		switch tg {
+		case tagBool, tagBoolCnt:
+			oldT := w&(1<<34) != 0
+			oldF := w&(1<<35) != 0
+			if w&(1<<36) != 0 && !oldT && !oldF &&
+				s.bval(id) != bUnknown {
+				tis := s.targetLists[s.targetsAt[id]]
+				s.nUnmasked += len(tis)
+				for _, ti := range tis {
+					s.tMasked[ti] = false
+				}
+			}
+			s.decT.setTo(int32(id), oldT)
+			s.decF.setTo(int32(id), oldF)
+			s.open.setTo(int32(id), !oldT && !oldF)
+			if tg == tagBoolCnt {
+				nn--
+				s.ab[id].cnt = s.trailNums[nn].cnt
+			}
+		case tagSum:
+			ns--
+			s.sums[s.ab[id].aux] = s.trailSums[ns]
+			nn--
+			f := &s.trailNums[nn]
+			s.ab[id].vkf, s.ab[id].cnt, s.ab[id].lo, s.ab[id].hi = f.vkf, f.cnt, f.lo, f.hi
+			s.open.setTo(int32(id), f.vkf&3 == vkNone)
+		case tagNum:
+			nn--
+			f := &s.trailNums[nn]
+			s.ab[id].vkf, s.ab[id].cnt, s.ab[id].lo, s.ab[id].hi = f.vkf, f.cnt, f.lo, f.hi
+			s.open.setTo(int32(id), f.vkf&3 == vkNone)
+		}
+	}
+	s.trailIDs = s.trailIDs[:mark]
+	s.trailNums = s.trailNums[:nn]
+	s.trailSums = s.trailSums[:ns]
+}
+
+// nextVar mirrors state.nextVar over the flat layout.
+func (s *fstate) nextVar(oi int) (int, event.VarID, bool) {
+	for ; oi < len(s.order); oi++ {
+		x := s.order[oi]
+		id := s.net.VarNode[x]
+		if s.bval(id) != bUnknown {
+			continue // assigned on this branch
+		}
+		if s.opts.SkipDisabled {
+			return oi, x, true
+		}
+		if s.targetsAt[id] >= 0 {
+			return oi, x, true // the leaf itself is a compilation target
+		}
+		for _, pid := range s.flat.ParsOf(id) {
+			if s.flat.Kind[pid].IsBool() {
+				if s.bval(pid) == bUnknown {
+					return oi, x, true
+				}
+			} else if s.ab[pid].vkf&3 == vkNone {
+				return oi, x, true
+			}
+		}
+	}
+	return oi, -1, false
+}
+
+// allSettled mirrors state.allSettled.
+func (s *fstate) allSettled() bool {
+	if s.nUnmasked == 0 {
+		return true
+	}
+	if s.bounds.allTight() {
+		return true
+	}
+	if s.bounds.eps2 == 0 {
+		return false // exact: tight only at full convergence
+	}
+	nTight := int64(len(s.tMasked)) - s.bounds.nLoose.Load()
+	if int64(s.nUnmasked) > nTight {
+		return false // pigeonhole: some target is neither masked nor tight
+	}
+	return s.bounds.settledWith(s.tMasked)
+}
+
+// snapshotFrom copies the post-init masks and counters of a pristine state.
+func (s *fstate) snapshotFrom(pristine compCore) {
+	p := pristine.(*fstate)
+	s.decT.copyFrom(p.decT)
+	s.decF.copyFrom(p.decF)
+	s.open.copyFrom(p.open)
+	copy(s.ab, p.ab)
+	copy(s.sums, p.sums)
+	if p.level > s.level {
+		s.level = p.level
+	}
+	copy(s.tMasked, p.tMasked)
+	if s.vecVals != nil {
+		copy(s.vecVals, p.vecVals)
+	}
+	s.nUnmasked = p.nUnmasked
+	s.clearTrail()
+}
+
+// fsnap is the flat core's job snapshot: the packed planes plus the dense
+// abstract records and target bookkeeping. level is the forking state's
+// assignment level: the snapshotted trailedAt values are at most level, so
+// an adopting state raises its own level to at least it, keeping the
+// trail-dedup comparison sound across workers.
+type fsnap struct {
+	decT, decF bitset
+	// open has a bit set for every node not yet decided — the propagation
+	// loop tests it to skip parents whose update would early-return, saving
+	// the call. Maintained by the commit/undo paths in lockstep with the
+	// truth planes and vkf kinds.
+	open bitset
+	ab   []nabs
+	sums []sumAgg
+	vecVals    []vec.Vec
+	tMasked    []bool
+	nUnmasked  int
+	level      int32
+}
+
+func (sn *fsnap) snapUnmasked() int { return sn.nUnmasked }
+
+func (s *fstate) forkSnap() coreSnap {
+	sn := &fsnap{
+		decT:      s.decT.clone(),
+		decF:      s.decF.clone(),
+		open:      s.open.clone(),
+		ab:        append([]nabs(nil), s.ab...),
+		sums:      append([]sumAgg(nil), s.sums...),
+		tMasked:   append([]bool(nil), s.tMasked...),
+		nUnmasked: s.nUnmasked,
+		level:     s.level,
+	}
+	if s.vecVals != nil {
+		sn.vecVals = append([]vec.Vec(nil), s.vecVals...)
+	}
+	return sn
+}
+
+func (s *fstate) shareSnap() coreSnap {
+	return &fsnap{
+		decT: s.decT, decF: s.decF, open: s.open, ab: s.ab, sums: s.sums,
+		vecVals: s.vecVals, tMasked: s.tMasked, nUnmasked: s.nUnmasked,
+		level: s.level,
+	}
+}
+
+func (s *fstate) adoptSnap(c coreSnap) {
+	sn := c.(*fsnap)
+	s.decT, s.decF = sn.decT, sn.decF
+	s.open = sn.open
+	s.ab, s.sums = sn.ab, sn.sums
+	s.tMasked = sn.tMasked
+	if sn.level > s.level {
+		s.level = sn.level
+	}
+	if sn.vecVals != nil {
+		s.vecVals = sn.vecVals
+	}
+	s.nUnmasked = sn.nUnmasked
+	s.clearTrail()
+}

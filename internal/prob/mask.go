@@ -229,13 +229,14 @@ func (s *state) initAll() {
 // snapshotFrom copies the post-init masks and counters of a pristine state;
 // used by distributed workers to reset between jobs without recomputing the
 // initial pass.
-func (s *state) snapshotFrom(pristine *state) {
-	copy(s.masks, pristine.masks)
-	copy(s.tMasked, pristine.tMasked)
+func (s *state) snapshotFrom(pristine compCore) {
+	p := pristine.(*state)
+	copy(s.masks, p.masks)
+	copy(s.tMasked, p.tMasked)
 	if s.vecVals != nil {
-		copy(s.vecVals, pristine.vecVals)
+		copy(s.vecVals, p.vecVals)
 	}
-	s.nUnmasked = pristine.nUnmasked
+	s.nUnmasked = p.nUnmasked
 	s.trail = s.trail[:0]
 }
 

@@ -33,7 +33,7 @@ type Session struct {
 	order []event.VarID
 	eps2  float64
 
-	pristine     *state
+	pristine     compCore
 	pristineBook *boundsBook
 
 	pool sync.Pool // *sessWorker
@@ -41,7 +41,7 @@ type Session struct {
 
 // sessWorker is one reusable per-job execution state with its private book.
 type sessWorker struct {
-	s    *state
+	s    compCore
 	book *boundsBook
 }
 
@@ -64,8 +64,8 @@ func NewSession(net *network.Net, opts Options) (*Session, error) {
 	}
 	order := computeOrder(net, opts)
 	book := newBoundsBook(len(net.Targets), eps2)
-	pr := newState(net, types, opts, book)
-	pr.order = order
+	pr := newCompCore(net, types, opts, book)
+	pr.attachRun(order, time.Time{}, nil, nil)
 	pr.initAll()
 	return &Session{
 		net: net, types: types, opts: opts, order: order, eps2: eps2,
@@ -86,7 +86,7 @@ func (ss *Session) ExecJob(ctx context.Context, j *WireJob) (*WireResult, error)
 	wkr, _ := ss.pool.Get().(*sessWorker)
 	if wkr == nil {
 		book := newBoundsBook(len(ss.net.Targets), ss.eps2)
-		wkr = &sessWorker{book: book, s: newState(ss.net, ss.types, ss.opts, book)}
+		wkr = &sessWorker{book: book, s: newCompCore(ss.net, ss.types, ss.opts, book)}
 	}
 	defer ss.pool.Put(wkr)
 
@@ -119,21 +119,21 @@ func (ss *Session) ExecJob(ctx context.Context, j *WireJob) (*WireResult, error)
 	// Replay the assignment prefix with recording off: propagation is
 	// deterministic, so the masks end up bit-identical to the forking
 	// worker's state at the fork point.
-	s.recording = false
+	s.setRecording(false)
 	for _, a := range j.Path {
 		s.assign(a.Var, a.Val, j.P)
 		if r.stop.Load() {
 			break
 		}
 	}
-	s.trail = s.trail[:0]
-	s.recording = true
+	s.clearTrail()
+	s.setRecording(true)
 
 	res := &WireResult{ID: j.ID}
-	s.onAdd = func(ti int, isTrue bool, mass float64) {
+	s.setOnAdd(func(ti int, isTrue bool, mass float64) {
 		res.Items = append(res.Items, WireItem{Kind: ItemAdd, Target: int32(ti), IsTrue: isTrue, Mass: mass})
-	}
-	defer func() { s.onAdd = nil }()
+	})
+	defer s.setOnAdd(nil)
 	w := &walker{state: s, run: r, forkDepth: ss.opts.JobDepth, trackPath: true}
 	w.fork = func(oi int, p float64, E []float64) bool {
 		fp := make([]Assign, 0, len(j.Path)+len(w.path))
@@ -147,8 +147,9 @@ func (ss *Session) ExecJob(ctx context.Context, j *WireJob) (*WireResult, error)
 
 	E := make([]float64, len(ss.net.Targets))
 	copy(E, j.E)
-	base := s.stats
-	s.stats.MaxDepth = 0
+	st := s.st()
+	base := *st
+	st.MaxDepth = 0
 	if !r.stop.Load() {
 		w.dfs(0, j.OI, -1, false, j.P, E)
 	}
@@ -160,11 +161,11 @@ func (ss *Session) ExecJob(ctx context.Context, j *WireJob) (*WireResult, error)
 	res.Residual = E
 	res.TimedOut = r.timedOut.Load()
 	res.Stats = JobStats{
-		Branches:     s.stats.Branches - base.Branches,
-		Assignments:  s.stats.Assignments - base.Assignments,
-		MaskUpdates:  s.stats.MaskUpdates - base.MaskUpdates,
-		BudgetPrunes: s.stats.BudgetPrunes - base.BudgetPrunes,
-		MaxDepth:     s.stats.MaxDepth,
+		Branches:     st.Branches - base.Branches,
+		Assignments:  st.Assignments - base.Assignments,
+		MaskUpdates:  st.MaskUpdates - base.MaskUpdates,
+		BudgetPrunes: st.BudgetPrunes - base.BudgetPrunes,
+		MaxDepth:     st.MaxDepth,
 		DurNanos:     time.Since(t0).Nanoseconds(),
 	}
 	return res, nil
