@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test test-short test-race vet fuzz-smoke fuzz bench bench-serve bench-compare alloc-guard obs-race smoke serve-smoke worker-smoke bench-distributed ci
+.PHONY: build test test-short test-race vet fuzz-smoke fuzz bench bench-serve bench-compare alloc-guard obs-race smoke serve-smoke worker-smoke trace-smoke bench-distributed ci
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,13 @@ serve-smoke: build
 worker-smoke: build
 	$(GO) run ./cmd/distbench -smoke
 
+# trace-smoke runs one remote compilation through the real CLI against a real
+# worker process and requires the emitted Chrome trace to parse and to carry
+# the worker's spans on its own named process lane (cross-process trace
+# propagation end to end, OBSERVABILITY.md).
+trace-smoke: build
+	$(GO) run ./cmd/distbench -trace-smoke
+
 # bench-distributed measures per-job busy times over a real worker process
 # and refreshes BENCH_distributed.json: virtual makespans for 1/2/4/8
 # workers from list-scheduling the measured job DAG (the single-CPU CI
@@ -89,4 +96,4 @@ worker-smoke: build
 bench-distributed: build
 	$(GO) run ./cmd/distbench -out BENCH_distributed.json
 
-ci: vet build test test-race obs-race alloc-guard smoke serve-smoke worker-smoke bench-distributed
+ci: vet build test test-race obs-race alloc-guard smoke serve-smoke worker-smoke trace-smoke bench-distributed

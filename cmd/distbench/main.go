@@ -12,6 +12,12 @@
 //	    itself mid-run and require the surviving worker to absorb the jobs
 //	    with the same bit-exact result. Exits non-zero on any divergence.
 //
+//	distbench -trace-smoke
+//	    Spawn one worker, run `enframe -remote ADDR -trace-out FILE` through
+//	    the real CLI, and require the emitted Chrome trace to parse and to
+//	    carry the worker's spans on its own named process lane — the
+//	    cross-process trace propagation path end to end.
+//
 //	distbench -out BENCH_distributed.json
 //	    Measure per-job busy times over a real worker and compute virtual
 //	    makespans for 1/2/4 workers with an event-driven list scheduler over
@@ -48,6 +54,7 @@ import (
 var (
 	enframeFlag = flag.String("enframe", "", "path to an enframe binary (empty: go build one into a temp dir)")
 	smokeFlag   = flag.Bool("smoke", false, "run the two-process byte-identity and fault smoke checks")
+	traceFlag   = flag.Bool("trace-smoke", false, "run one remote compile via the CLI and verify the Chrome trace carries worker-process lanes")
 	outFlag     = flag.String("out", "", "write the virtual-scaling benchmark to this JSON file")
 	nFlag       = flag.Int("n", 16, "bench workload: data points")
 	iterFlag    = flag.Int("iter", 3, "bench workload: kmedoids iterations")
@@ -56,8 +63,8 @@ var (
 
 func main() {
 	flag.Parse()
-	if !*smokeFlag && *outFlag == "" {
-		fmt.Fprintln(os.Stderr, "distbench: nothing to do (want -smoke and/or -out FILE)")
+	if !*smokeFlag && !*traceFlag && *outFlag == "" {
+		fmt.Fprintln(os.Stderr, "distbench: nothing to do (want -smoke, -trace-smoke, and/or -out FILE)")
 		os.Exit(2)
 	}
 	bin, cleanup, err := ensureEnframe()
@@ -67,6 +74,11 @@ func main() {
 	defer cleanup()
 	if *smokeFlag {
 		if err := runSmoke(bin); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceFlag {
+		if err := runTraceSmoke(bin); err != nil {
 			fatal(err)
 		}
 	}
@@ -250,6 +262,85 @@ func runSmoke(bin string) error {
 		return fmt.Errorf("fault pass: want 1 surviving worker, have %d", alive)
 	}
 	fmt.Println("distbench: smoke: worker killed mid-run, survivor absorbed the jobs bit-exactly")
+	return nil
+}
+
+// runTraceSmoke drives the user-facing distributed-tracing path: a real
+// worker process, a real `enframe -remote ... -trace-out` coordinator run,
+// and structural checks on the emitted Chrome trace — it must parse, hold
+// spans on at least two distinct pid lanes, and name the worker's lane.
+func runTraceSmoke(bin string) error {
+	addr, stop, err := spawnWorker(bin)
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	dir, err := os.MkdirTemp("", "trace-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	traceFile := filepath.Join(dir, "trace.json")
+
+	cmd := exec.Command(bin,
+		"-remote", addr, "-trace-out", traceFile, "-json",
+		"-n", "10", "-iter", "2", "-job", "2")
+	cmd.Stdout = os.Stderr // the JSON result is not under test; keep stdout clean
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("enframe -remote -trace-out: %w", err)
+	}
+
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		return err
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			PID   int            `json:"pid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		return fmt.Errorf("trace output is not valid Chrome trace JSON: %w", err)
+	}
+
+	spanPIDs := map[int]int{}
+	laneNames := map[int]string{}
+	for _, ev := range trace.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			spanPIDs[ev.PID]++
+		case "M":
+			if ev.Name == "process_name" {
+				name, _ := ev.Args["name"].(string)
+				laneNames[ev.PID] = name
+			}
+		}
+	}
+	if len(spanPIDs) < 2 {
+		return fmt.Errorf("trace has spans on %d pid lane(s), want >= 2 (coordinator + worker)", len(spanPIDs))
+	}
+	workerLanes := 0
+	for pid, n := range spanPIDs {
+		if pid == 1 {
+			continue
+		}
+		name := laneNames[pid]
+		if name == "" {
+			return fmt.Errorf("pid lane %d has %d spans but no process_name metadata", pid, n)
+		}
+		workerLanes++
+		fmt.Printf("distbench: trace-smoke: lane pid=%d %q carries %d worker spans\n", pid, name, n)
+	}
+	if workerLanes == 0 {
+		return fmt.Errorf("no worker pid lanes in trace")
+	}
+	fmt.Printf("distbench: trace-smoke: single Chrome trace, %d coordinator spans + %d worker lane(s)\n",
+		spanPIDs[1], workerLanes)
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -25,6 +26,7 @@ func runServe(args []string) error {
 	maxBody := fs.Int64("max-body", 1<<20, "request body size limit in bytes")
 	grace := fs.Duration("grace", 30*time.Second, "drain grace period on SIGTERM/SIGINT")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof on the serving mux")
+	accessLog := fs.Bool("access-log", true, "write one JSON access-log line per request to stderr")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: enframe serve [-addr HOST:PORT] [flags]   (API schema in SERVING.md)")
 		fs.PrintDefaults()
@@ -36,7 +38,7 @@ func runServe(args []string) error {
 		return fmt.Errorf("serve: unexpected argument %q", fs.Arg(0))
 	}
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Addr:           *addr,
 		MaxInflight:    *inflight,
 		QueueDepth:     *queue,
@@ -45,7 +47,11 @@ func runServe(args []string) error {
 		MaxTimeout:     *maxTimeout,
 		MaxBodyBytes:   *maxBody,
 		Pprof:          *pprofOn,
-	})
+	}
+	if *accessLog {
+		cfg.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	srv := server.New(cfg)
 	if err := srv.Start(); err != nil {
 		return err
 	}

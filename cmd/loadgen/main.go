@@ -1,7 +1,9 @@
 // Command loadgen drives the ENFrame serving layer (internal/server) at
 // configurable concurrency and duration and writes a BENCH_serve.json
-// snapshot: throughput, p50/p95/p99 latency, per-status counts, and the
-// compiled-artifact cache hit rate. With no -addr it boots an in-process
+// snapshot: throughput, p50/p95/p99/p999 latency, per-status counts, the
+// compiled-artifact cache hit rate, and the server's own latency histogram
+// (pulled from /metrics?format=json) so client-sampled percentiles can be
+// cross-checked against the server's cumulative buckets. With no -addr it boots an in-process
 // server on an ephemeral port, so `make bench-serve` is self-contained;
 // point -addr at a running `enframe serve` to load an external process.
 //
@@ -121,6 +123,48 @@ type snapshot struct {
 	// compiled-artifact cache, so throughput here is bounded by the front
 	// end (fused translate+ground) plus compilation, not cache lookups.
 	Cold map[string]float64 `json:"cold,omitempty"`
+	// ServerLatency is the server's own server.latency_ms histogram at the
+	// end of the run: cumulative buckets, sum, and count, measured inside
+	// the handler rather than at the client.
+	ServerLatency *serverHistogram `json:"server_latency_ms,omitempty"`
+}
+
+// serverHistogram mirrors the /metrics?format=json histogram shape.
+type serverHistogram struct {
+	Count   float64      `json:"count"`
+	Sum     float64      `json:"sum"`
+	Buckets []histBucket `json:"buckets"`
+}
+
+type histBucket struct {
+	Le    any   `json:"le"` // float64 upper bound, or the string "+Inf"
+	Count int64 `json:"count"`
+}
+
+// fetchServerLatency pulls the server-side latency histogram off the metrics
+// endpoint; any failure degrades to "absent" rather than failing the run.
+func fetchServerLatency(addr string) *serverHistogram {
+	resp, err := http.Get("http://" + addr + "/metrics?format=json")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var vals []struct {
+		Name    string       `json:"name"`
+		Kind    string       `json:"kind"`
+		Value   float64      `json:"value"`
+		Sum     float64      `json:"sum"`
+		Buckets []histBucket `json:"buckets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vals); err != nil {
+		return nil
+	}
+	for _, v := range vals {
+		if v.Name == "server.latency_ms" && v.Kind == "histogram" {
+			return &serverHistogram{Count: v.Value, Sum: v.Sum, Buckets: v.Buckets}
+		}
+	}
+	return nil
 }
 
 func percentile(sorted []time.Duration, p float64) float64 {
@@ -206,6 +250,7 @@ func load(addr string, dur time.Duration, jitter bool) snapshot {
 	snap.LatencyMs["p50"] = percentile(lats, 50)
 	snap.LatencyMs["p95"] = percentile(lats, 95)
 	snap.LatencyMs["p99"] = percentile(lats, 99)
+	snap.LatencyMs["p999"] = percentile(lats, 99.9)
 	if ok := snap.CacheHits + snap.CacheMiss; ok > 0 {
 		snap.HitRate = float64(snap.CacheHits) / float64(ok)
 	}
@@ -215,12 +260,13 @@ func load(addr string, dur time.Duration, jitter bool) snapshot {
 // coldSummary flattens a cold-phase snapshot into the "cold" section.
 func coldSummary(s snapshot) map[string]float64 {
 	return map[string]float64{
-		"requests":       float64(s.Requests),
-		"throughput_rps": s.Rps,
-		"latency_ms_p50": s.LatencyMs["p50"],
-		"latency_ms_p95": s.LatencyMs["p95"],
-		"latency_ms_p99": s.LatencyMs["p99"],
-		"cache_hit_rate": s.HitRate,
+		"requests":        float64(s.Requests),
+		"throughput_rps":  s.Rps,
+		"latency_ms_p50":  s.LatencyMs["p50"],
+		"latency_ms_p95":  s.LatencyMs["p95"],
+		"latency_ms_p99":  s.LatencyMs["p99"],
+		"latency_ms_p999": s.LatencyMs["p999"],
+		"cache_hit_rate":  s.HitRate,
 	}
 }
 
@@ -274,6 +320,7 @@ func main() {
 		cold := load(addr, *durFlag/2, true)
 		snap.Cold = coldSummary(cold)
 	}
+	snap.ServerLatency = fetchServerLatency(addr)
 	stop()
 
 	f, err := os.Create(*outFlag)
@@ -291,9 +338,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: %d requests, %.0f req/s, p50 %.1fms p95 %.1fms p99 %.1fms, hit rate %.1f%%",
+	fmt.Printf("wrote %s: %d requests, %.0f req/s, p50 %.1fms p95 %.1fms p99 %.1fms p999 %.1fms, hit rate %.1f%%",
 		*outFlag, snap.Requests, snap.Rps,
-		snap.LatencyMs["p50"], snap.LatencyMs["p95"], snap.LatencyMs["p99"], snap.HitRate*100)
+		snap.LatencyMs["p50"], snap.LatencyMs["p95"], snap.LatencyMs["p99"],
+		snap.LatencyMs["p999"], snap.HitRate*100)
 	if snap.Cold != nil {
 		fmt.Printf("; cold %.0f req/s p95 %.1fms", snap.Cold["throughput_rps"], snap.Cold["latency_ms_p95"])
 	}

@@ -117,6 +117,37 @@ func runOverPool(t *testing.T, p *dist.Pool, req server.RunRequest, wo dist.Wire
 	return got, seq
 }
 
+// runOverPoolObs is runOverPool with tracing wired through the compile, so
+// trace tests see the distribute/job/ship span hierarchy plus any spliced
+// remote subtrees.
+func runOverPoolObs(t *testing.T, p *dist.Pool, req server.RunRequest, wo dist.WireOpts, tr *obs.Trace) *prob.Result {
+	t.Helper()
+	specJSON, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, key, err := server.BuildSpec(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := core.PrepareContext(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := wo.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Order = art.Order(opts.Heuristic)
+	opts.Obs = tr
+	exec := p.Session(key, specJSON, wo)
+	got, err := prob.CompileExec(context.Background(), art.Net, opts, exec)
+	if err != nil {
+		t.Fatalf("CompileExec over pool: %v", err)
+	}
+	return got
+}
+
 func assertBitIdentical(t *testing.T, got, want *prob.Result) {
 	t.Helper()
 	if len(got.Targets) != len(want.Targets) {

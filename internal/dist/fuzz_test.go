@@ -30,7 +30,7 @@ func FuzzFrame(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
-		mt, payload, err := ReadFrame(r)
+		mt, payload, ver, err := ReadFrameV(r)
 		if err != nil {
 			if errors.Is(err, io.EOF) && len(data) > 0 {
 				// io.EOF is reserved for a clean close before any byte.
@@ -45,7 +45,7 @@ func FuzzFrame(f *testing.F) {
 			t.Fatalf("decoded payload of %d bytes exceeds cap", len(payload))
 		}
 		var buf bytes.Buffer
-		if werr := WriteFrame(&buf, mt, payload); werr != nil {
+		if werr := WriteFrameV(&buf, ver, mt, payload); werr != nil {
 			t.Fatalf("re-encode of valid frame failed: %v", werr)
 		}
 		consumed := len(data) - r.Len()

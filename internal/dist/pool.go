@@ -72,6 +72,17 @@ type poolWorker struct {
 	conn  net.Conn
 	slots int
 
+	// proto is the negotiated protocol revision for this connection; trace
+	// contexts and piggybacked telemetry flow only at v2+.
+	proto uint8
+	// remotePID is the worker's OS process ID (0 on v1 connections).
+	remotePID int
+	// clockOffNs estimates (worker clock − coordinator clock) from the
+	// handshake: the worker's ack reading minus the midpoint of our
+	// send/receive instants. Spliced worker spans shift by −clockOffNs to
+	// land on the coordinator clock, so Perfetto lanes align.
+	clockOffNs int64
+
 	alive    atomic.Bool
 	inflight atomic.Int64
 	misses   atomic.Int64
@@ -185,11 +196,19 @@ func (p *Pool) dial(ctx context.Context, index int, addr string) (*poolWorker, e
 	}
 	deadline := time.Now().Add(p.cfg.DialTimeout)
 	conn.SetDeadline(deadline)
-	if err := WriteFrame(conn, MsgHello, encode(helloMsg{Version: ProtocolVersion, Name: "coordinator"})); err != nil {
+	t0 := time.Now()
+	hello := helloMsg{
+		Version:    ProtocolVersion,
+		MinVersion: MinProtocolVersion,
+		Name:       "coordinator",
+		ClockNs:    t0.UnixNano(),
+	}
+	if err := WriteFrame(conn, MsgHello, encode(hello)); err != nil {
 		conn.Close()
 		return nil, err
 	}
 	t, payload, err := ReadFrame(conn)
+	t1 := time.Now()
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -212,12 +231,24 @@ func (p *Pool) dial(ctx context.Context, index int, addr string) (*poolWorker, e
 		conn.Close()
 		return nil, err
 	}
+	if ack.Version < MinProtocolVersion || ack.Version > ProtocolVersion {
+		conn.Close()
+		return nil, &VersionError{Got: uint8(ack.Version), Want: ProtocolVersion}
+	}
 	conn.SetDeadline(time.Time{})
 	w := &poolWorker{
 		pool: p, index: index, addr: addr, conn: conn, slots: ack.Slots,
-		waiters:  map[uint64]chan poolReply{},
-		sessions: map[string]*loadState{},
-		done:     make(chan struct{}),
+		proto:     uint8(ack.Version),
+		remotePID: ack.PID,
+		waiters:   map[uint64]chan poolReply{},
+		sessions:  map[string]*loadState{},
+		done:      make(chan struct{}),
+	}
+	if ack.ClockNs != 0 {
+		// Estimate the worker clock against the midpoint of the handshake
+		// round trip; the residual error is bounded by half the RTT.
+		mid := t0.UnixNano() + (t1.UnixNano()-t0.UnixNano())/2
+		w.clockOffNs = ack.ClockNs - mid
 	}
 	if ack.Slots <= 0 {
 		w.slots = 1
@@ -229,8 +260,24 @@ func (p *Pool) dial(ctx context.Context, index int, addr string) (*poolWorker, e
 		w.mJobs = p.cfg.Reg.Counter(fmt.Sprintf("dist.worker.%d.jobs_shipped", index))
 	}
 	w.gAlive.Set(1)
-	p.logf("worker %d (%s) connected, %d slots", index, addr, w.slots)
+	w.gInflight.Set(0)
+	p.logf("worker %d (%s) connected, %d slots, protocol v%d, clock offset %dns",
+		index, addr, w.slots, w.proto, w.clockOffNs)
 	return w, nil
+}
+
+// lanePID is the Chrome-trace process lane this worker's spliced spans land
+// on: lane 1 is the coordinator, workers take 2, 3, … by pool index, so
+// lanes stay distinct even when coordinator and workers share an OS pid
+// (in-process tests).
+func (w *poolWorker) lanePID() int { return w.index + 2 }
+
+// laneLabel names the worker's Perfetto lane.
+func (w *poolWorker) laneLabel() string {
+	if w.remotePID > 0 {
+		return fmt.Sprintf("worker %d (%s, pid %d)", w.index, w.addr, w.remotePID)
+	}
+	return fmt.Sprintf("worker %d (%s)", w.index, w.addr)
 }
 
 // AliveWorkers counts workers currently considered live.
@@ -255,12 +302,13 @@ func (p *Pool) Close() error {
 	return nil
 }
 
-// send writes one frame on the worker connection (serialised).
+// send writes one frame on the worker connection (serialised), stamped with
+// the connection's negotiated protocol version.
 func (w *poolWorker) send(t MsgType, payload []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.pool.mBytesSent.Add(int64(headerSize + len(payload)))
-	if err := WriteFrame(w.conn, t, payload); err != nil {
+	if err := WriteFrameV(w.conn, w.proto, t, payload); err != nil {
 		return fmt.Errorf("dist: worker %s: %w: %w", w.addr, prob.ErrExecutorUnavailable, err)
 	}
 	return nil
@@ -286,6 +334,7 @@ func (w *poolWorker) readLoop() {
 				w.markDead(err)
 				return
 			}
+			w.applyRemoteMetrics(rm.Metrics)
 			w.deliver(rm.ID, poolReply{msg: &rm})
 		case MsgLoadAck:
 			var am loadAckMsg
@@ -302,6 +351,25 @@ func (w *poolWorker) readLoop() {
 		default:
 			w.markDead(&FrameError{Op: "demux", Err: fmt.Errorf("unexpected %v frame", t)})
 			return
+		}
+	}
+}
+
+// applyRemoteMetrics folds piggybacked worker telemetry into the pool
+// registry. Counter deltas sum fleet-wide under `worker.<name>`; gauge
+// absolutes land per worker under `dist.worker.<i>.<name>`. Applied even for
+// results that turn out orphaned — the work (and its cost) really happened.
+func (w *poolWorker) applyRemoteMetrics(ms []wireMetric) {
+	reg := w.pool.cfg.Reg
+	if reg == nil || len(ms) == 0 {
+		return
+	}
+	for _, m := range ms {
+		switch m.K {
+		case 0: // counter delta
+			reg.Counter("worker." + m.N).Add(int64(m.V))
+		case 1: // gauge absolute
+			reg.Gauge(fmt.Sprintf("dist.worker.%d.%s", w.index, m.N)).Set(m.V)
 		}
 	}
 }
@@ -356,7 +424,10 @@ func (w *poolWorker) markDead(cause error) {
 	if !w.alive.CompareAndSwap(true, false) {
 		return
 	}
+	// Zero both liveness gauges so /metrics never reports a dead worker as
+	// alive or still owning in-flight jobs.
 	w.gAlive.Set(0)
+	w.gInflight.Set(0)
 	if !errors.Is(cause, errClosedPool) {
 		w.pool.logf("worker %d (%s) dead: %v", w.index, w.addr, cause)
 	}
@@ -501,6 +572,22 @@ func (e *PoolExecutor) runOn(ctx context.Context, w *poolWorker, j *prob.WireJob
 	// result is restored to the coordinator's job ID on receipt.
 	jm := toJobMsg(e.sessionKey, j)
 	jm.ID = wireID
+
+	// When the caller is tracing and the connection speaks v2+, open a local
+	// "ship" span covering the attempt's wire round trip and propagate its
+	// trace context on the job frame; the worker ships its span subtree back
+	// on the result, which splices under this span on the worker's lane.
+	var ship *obs.Span
+	if parent := obs.SpanFromContext(ctx); parent != nil && w.proto >= 2 {
+		ship = parent.Start("ship")
+		ship.SetInt("job", int64(j.ID))
+		ship.SetInt("wire_id", int64(wireID))
+		ship.SetInt("worker", int64(w.index))
+		ship.SetStr("addr", w.addr)
+		jm.Trace = &wireTrace{ID: ship.TraceID(), Span: ship.SpanID()}
+		defer ship.End()
+	}
+
 	if err := w.send(MsgJob, encode(jm)); err != nil {
 		w.forget(wireID)
 		return nil, err
@@ -518,6 +605,11 @@ func (e *PoolExecutor) runOn(ctx context.Context, w *poolWorker, j *prob.WireJob
 	case r := <-ch:
 		if r.err != nil {
 			return nil, r.err
+		}
+		if ship != nil && r.msg.Span != nil {
+			// Map worker timestamps onto the coordinator clock and land the
+			// subtree on this worker's dedicated process lane.
+			ship.Splice(*r.msg.Span, -w.clockOffNs, w.lanePID(), w.laneLabel())
 		}
 		if !r.msg.OK {
 			return nil, fmt.Errorf("dist: worker %s: job failed: %s", w.addr, r.msg.Err)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"enframe/internal/event"
+	"enframe/internal/obs"
 	"enframe/internal/prob"
 )
 
@@ -17,14 +18,29 @@ import (
 // coordinator's ordered merge depends on.
 
 type helloMsg struct {
-	Version int    `json:"version"`
-	Name    string `json:"name,omitempty"`
+	Version int `json:"version"`
+	// MinVersion is the lowest protocol revision the coordinator accepts
+	// (absent, meaning "Version exactly", from v1 coordinators).
+	MinVersion int    `json:"min_version,omitempty"`
+	Name       string `json:"name,omitempty"`
+	// ClockNs is the coordinator's clock reading at send time (v2+), the
+	// first half of the per-connection clock-offset handshake.
+	ClockNs int64 `json:"clock_ns,omitempty"`
 }
 
 type helloAckMsg struct {
+	// Version is the negotiated protocol revision for this connection:
+	// min(coordinator's Version, worker's Version).
 	Version int `json:"version"`
 	// Slots is the worker's parallel job capacity.
 	Slots int `json:"slots"`
+	// PID is the worker's OS process ID (v2+), shown in trace lane labels.
+	PID int `json:"pid,omitempty"`
+	// ClockNs is the worker's clock reading at ack time (v2+). The
+	// coordinator estimates the per-connection offset as
+	// ClockNs − midpoint(send hello, receive ack) and uses it to map
+	// worker span timestamps onto its own clock.
+	ClockNs int64 `json:"clock_ns,omitempty"`
 }
 
 // WireOpts is the subset of prob.Options a session fixes on the worker.
@@ -124,6 +140,17 @@ type wireAssign struct {
 	B bool   `json:"b,omitempty"`
 }
 
+// wireTrace is the trace context a v2 job frame carries: enough for the
+// worker to label its local tracer and for the coordinator to know which
+// span the returned subtree belongs under.
+type wireTrace struct {
+	// ID is the coordinator trace's random hex identifier.
+	ID string `json:"id"`
+	// Span is the coordinator-side parent span ID the shipped job runs
+	// under.
+	Span uint64 `json:"span"`
+}
+
 type jobMsg struct {
 	SessionKey string       `json:"session_key"`
 	ID         uint64       `json:"id"`
@@ -132,6 +159,10 @@ type jobMsg struct {
 	P          float64      `json:"p"`
 	E          []float64    `json:"e,omitempty"`
 	TimeoutNs  int64        `json:"timeout_ns,omitempty"`
+	// Trace, when present (v2+ and the coordinator is tracing), asks the
+	// worker to run the job under a local tracer and ship the span subtree
+	// back on the result frame.
+	Trace *wireTrace `json:"trace,omitempty"`
 }
 
 type wireItem struct {
@@ -158,6 +189,16 @@ type wireStats struct {
 	DurNanos     int64 `json:"dur_ns,omitempty"`
 }
 
+// wireMetric is one piggybacked worker-process metric on a result frame:
+// counters travel as deltas since the previous result on the same
+// connection (the coordinator sums them into fleet totals), gauges as
+// absolute values (the coordinator namespaces them per worker).
+type wireMetric struct {
+	N string  `json:"n"`
+	K uint8   `json:"k,omitempty"` // 0 counter delta, 1 gauge absolute
+	V float64 `json:"v"`
+}
+
 type resultMsg struct {
 	ID       uint64     `json:"id"`
 	OK       bool       `json:"ok"`
@@ -167,6 +208,13 @@ type resultMsg struct {
 	Forks    []wireFork `json:"forks,omitempty"`
 	Residual []float64  `json:"residual,omitempty"`
 	Stats    wireStats  `json:"stats"`
+	// Span is the worker-side span subtree for this job (v2+, only when
+	// the job frame carried a trace context), in the worker's clock.
+	Span *obs.SpanExport `json:"span,omitempty"`
+	// Metrics are worker-process metric readings piggybacked on the result
+	// (v2+): no extra frames, and worker telemetry survives worker death up
+	// to its last shipped result.
+	Metrics []wireMetric `json:"metrics,omitempty"`
 }
 
 type pingMsg struct {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -32,8 +33,18 @@ type WorkerConfig struct {
 	// MaxSessions bounds the session cache; the oldest session is evicted
 	// beyond it. Default 8.
 	MaxSessions int
-	// Reg, when non-nil, receives dist.worker.* metrics.
+	// Reg, when non-nil, receives dist.worker.* metrics. Its counters are
+	// also piggybacked as deltas on result frames (v2+ connections), so
+	// the coordinator's registry accumulates fleet-wide totals.
 	Reg *obs.Registry
+	// MaxProtocol caps the protocol version this worker negotiates (0 means
+	// ProtocolVersion). Staged rollouts pin old revisions with it; tests use
+	// it to exercise cross-version negotiation.
+	MaxProtocol uint8
+	// Now is the worker's clock (default time.Now). The handshake reports
+	// its reading so the coordinator can map this worker's span timestamps
+	// onto its own clock; injecting a skewed clock tests that mapping.
+	Now func() time.Time
 	// Fault, when non-nil, injects deterministic failures (tests only).
 	Fault *FaultPlan
 	// Logf, when non-nil, receives worker diagnostics.
@@ -76,6 +87,12 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	}
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = 8
+	}
+	if cfg.MaxProtocol == 0 || cfg.MaxProtocol > ProtocolVersion {
+		cfg.MaxProtocol = ProtocolVersion
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
 	}
 	w := &Worker{
 		cfg:      cfg,
@@ -162,18 +179,60 @@ func (w *Worker) logf(format string, args ...any) {
 	}
 }
 
-// connWriter serialises frame writes from the per-job goroutines.
+// connWriter serialises frame writes from the per-job goroutines and owns
+// the per-connection protocol version and metric-delta state.
 type connWriter struct {
-	mu   sync.Mutex
-	conn net.Conn
-	out  *obs.Counter
+	mu      sync.Mutex
+	conn    net.Conn
+	out     *obs.Counter
+	version uint8 // negotiated protocol revision (ProtocolVersion pre-handshake)
+	// reg/lastVals drive counter-delta piggybacking on result frames: under
+	// mu, each result ships (current − last shipped) per counter, so sends
+	// interleaved across job goroutines never double-count.
+	reg      *obs.Registry
+	lastVals map[string]float64
 }
 
 func (cw *connWriter) send(t MsgType, payload []byte) error {
 	cw.mu.Lock()
 	defer cw.mu.Unlock()
 	cw.out.Add(int64(headerSize + len(payload)))
-	return WriteFrame(cw.conn, t, payload)
+	return WriteFrameV(cw.conn, cw.version, t, payload)
+}
+
+// sendResult sends one result frame, attaching worker metric deltas on v2+
+// connections. The delta snapshot happens under the write mutex so each
+// counter increment is shipped exactly once.
+func (cw *connWriter) sendResult(rm resultMsg) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.version >= 2 && cw.reg != nil {
+		rm.Metrics = cw.metricDeltasLocked()
+	}
+	payload := encode(rm)
+	cw.out.Add(int64(headerSize + len(payload)))
+	return WriteFrameV(cw.conn, cw.version, MsgResult, payload)
+}
+
+// metricDeltasLocked snapshots the worker registry: counter deltas since the
+// last result on this connection, gauges as absolutes.
+func (cw *connWriter) metricDeltasLocked() []wireMetric {
+	if cw.lastVals == nil {
+		cw.lastVals = map[string]float64{}
+	}
+	var out []wireMetric
+	for _, mv := range cw.reg.Values() {
+		switch mv.Kind {
+		case "counter":
+			if d := mv.Value - cw.lastVals[mv.Name]; d != 0 {
+				cw.lastVals[mv.Name] = mv.Value
+				out = append(out, wireMetric{N: mv.Name, K: 0, V: d})
+			}
+		case "gauge":
+			out = append(out, wireMetric{N: mv.Name, K: 1, V: mv.Value})
+		}
+	}
+	return out
 }
 
 // serveConn runs one coordinator connection: handshake, then a read loop
@@ -186,17 +245,18 @@ func (w *Worker) serveConn(conn net.Conn) {
 		delete(w.conns, conn)
 		w.mu.Unlock()
 	}()
-	cw := &connWriter{conn: conn, out: w.mBytesOut}
+	cw := &connWriter{conn: conn, out: w.mBytesOut, version: w.cfg.MaxProtocol, reg: w.cfg.Reg}
 
-	// Handshake: the coordinator speaks first. A version mismatch is
-	// reported with MsgError (best effort) before closing, so the peer
-	// fails with a typed VersionError instead of a hang.
+	// Handshake: the coordinator speaks first. The connection negotiates
+	// down to min(both sides' Version) as long as that clears both sides'
+	// floors; otherwise MsgError is sent (best effort) before closing, so
+	// the peer fails with a typed VersionError instead of a hang.
 	t, payload, err := ReadFrame(conn)
 	if err != nil {
 		var ve *VersionError
 		if errors.As(err, &ve) {
-			_ = cw.send(MsgError, encode(errorMsg{Code: "version", Version: ProtocolVersion,
-				Msg: fmt.Sprintf("worker speaks v%d", ProtocolVersion)}))
+			_ = cw.send(MsgError, encode(errorMsg{Code: "version", Version: int(w.cfg.MaxProtocol),
+				Msg: fmt.Sprintf("worker speaks v%d", w.cfg.MaxProtocol)}))
 		}
 		w.logf("handshake: %v", err)
 		return
@@ -211,12 +271,26 @@ func (w *Worker) serveConn(conn net.Conn) {
 		w.logf("handshake: %v", err)
 		return
 	}
-	if hello.Version != ProtocolVersion {
-		_ = cw.send(MsgError, encode(errorMsg{Code: "version", Version: ProtocolVersion,
-			Msg: fmt.Sprintf("worker speaks v%d", ProtocolVersion)}))
+	negotiated := int(w.cfg.MaxProtocol)
+	if hello.Version < negotiated {
+		negotiated = hello.Version
+	}
+	coordMin := hello.MinVersion
+	if coordMin == 0 {
+		coordMin = hello.Version // v1 coordinators require their version exactly
+	}
+	if negotiated < MinProtocolVersion || negotiated < coordMin {
+		_ = cw.send(MsgError, encode(errorMsg{Code: "version", Version: int(w.cfg.MaxProtocol),
+			Msg: fmt.Sprintf("worker speaks v%d", w.cfg.MaxProtocol)}))
 		return
 	}
-	if err := cw.send(MsgHelloAck, encode(helloAckMsg{Version: ProtocolVersion, Slots: w.cfg.Slots})); err != nil {
+	cw.version = uint8(negotiated)
+	ack := helloAckMsg{Version: negotiated, Slots: w.cfg.Slots}
+	if negotiated >= 2 {
+		ack.PID = os.Getpid()
+		ack.ClockNs = w.cfg.Now().UnixNano()
+	}
+	if err := cw.send(MsgHelloAck, encode(ack)); err != nil {
 		return
 	}
 
@@ -264,13 +338,35 @@ func (w *Worker) serveConn(conn net.Conn) {
 			jobs.Add(1)
 			go func() {
 				defer jobs.Done()
-				select {
-				case jobSlots <- struct{}{}:
-					defer func() { <-jobSlots }()
-				case <-ctx.Done():
-					return
+				// When the coordinator is tracing, this job runs under a
+				// local tracer whose subtree ships back on the result
+				// frame. The root opens before the slot wait so queueing
+				// shows up as its own child span.
+				var tr *obs.Trace
+				if jm.Trace != nil && cw.version >= 2 {
+					tr = obs.NewWithClock("job", w.cfg.Now)
+					root := tr.Root()
+					root.SetStr("trace_id", jm.Trace.ID)
+					root.SetInt("parent_span", int64(jm.Trace.Span))
+					root.SetInt("wire_id", int64(jm.ID))
+					q := root.Start("queued")
+					defer tr.Finish()
+					select {
+					case jobSlots <- struct{}{}:
+						q.End()
+						defer func() { <-jobSlots }()
+					case <-ctx.Done():
+						return
+					}
+				} else {
+					select {
+					case jobSlots <- struct{}{}:
+						defer func() { <-jobSlots }()
+					case <-ctx.Done():
+						return
+					}
 				}
-				w.runJob(ctx, cw, jm)
+				w.runJob(ctx, cw, jm, tr)
 			}()
 		default:
 			w.logf("unexpected frame %v", t)
@@ -333,11 +429,14 @@ func (w *Worker) loadSession(lm loadMsg) loadAckMsg {
 }
 
 // runJob executes one job and sends its result, applying the fault plan.
-func (w *Worker) runJob(ctx context.Context, cw *connWriter, jm jobMsg) {
+// tr, when non-nil, is the job's local tracer; its span subtree ships on the
+// result frame.
+func (w *Worker) runJob(ctx context.Context, cw *connWriter, jm jobMsg, tr *obs.Trace) {
 	w.mu.Lock()
 	ws := w.sessions[jm.SessionKey]
 	w.mu.Unlock()
 	var rm resultMsg
+	exec := tr.Root().Start("exec")
 	if ws == nil || ws.sess == nil {
 		rm = resultMsg{ID: jm.ID, Err: fmt.Sprintf("unknown session %s", jm.SessionKey)}
 	} else {
@@ -349,9 +448,18 @@ func (w *Worker) runJob(ctx context.Context, cw *connWriter, jm jobMsg) {
 			rm = resultMsg{ID: jm.ID, Err: err.Error()}
 		} else {
 			rm = toResultMsg(res)
+			exec.SetInt("branches", res.Stats.Branches)
+			exec.SetInt("items", int64(len(res.Items)))
+			exec.SetInt("forks", int64(len(res.Forks)))
 		}
 	}
+	exec.End()
 	w.mJobs.Add(1)
+	if tr != nil {
+		tr.Finish()
+		ex := tr.Root().Export()
+		rm.Span = &ex
+	}
 
 	action, delay := w.cfg.Fault.next()
 	if delay > 0 {
@@ -375,5 +483,5 @@ func (w *Worker) runJob(ctx context.Context, cw *connWriter, jm jobMsg) {
 		w.logf("fault: dropping result of job %d", jm.ID)
 		return
 	}
-	_ = cw.send(MsgResult, encode(rm))
+	_ = cw.sendResult(rm)
 }

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"sort"
 )
 
 // Chrome trace_event export: one "X" (complete) event per span and one "i"
@@ -41,6 +42,19 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 		Name: "process_name", Phase: "M", PID: 1, TID: 1,
 		Args: map[string]any{"name": t.root.name},
 	})
+	// Spliced remote subtrees live on their own process lanes; one metadata
+	// event per lane names the worker process in Perfetto's lane header.
+	lanePIDs := make([]int, 0, len(t.lanes))
+	for pid := range t.lanes {
+		lanePIDs = append(lanePIDs, pid)
+	}
+	sort.Ints(lanePIDs)
+	for _, pid := range lanePIDs {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "process_name", Phase: "M", PID: pid, TID: 1,
+			Args: map[string]any{"name": t.lanes[pid]},
+		})
+	}
 	t.root.chromeEvents(&f.TraceEvents)
 	for _, name := range t.timelineNames() {
 		tl := t.timelines[name]
@@ -63,9 +77,13 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 func (s *Span) chromeEvents(out *[]chromeEvent) {
 	ts := float64(s.start.Sub(s.t.root.start).Microseconds())
 	dur := float64(s.durLocked().Microseconds())
+	pid := s.pid
+	if pid == 0 {
+		pid = 1
+	}
 	ev := chromeEvent{
 		Name: s.name, Cat: "pipeline", Phase: "X",
-		TS: ts, Dur: &dur, PID: 1, TID: s.tid,
+		TS: ts, Dur: &dur, PID: pid, TID: s.tid,
 	}
 	if len(s.attrs) > 0 {
 		ev.Args = make(map[string]any, len(s.attrs))

@@ -1,0 +1,23 @@
+package obs
+
+import "context"
+
+// spanCtxKey keys the active span in a context.Context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the active span. A nil span
+// returns ctx unchanged (no allocation), keeping the disabled path free.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the active span carried by ctx, or nil. The
+// distributed executor uses it to parent remote job subtrees under the
+// coordinator span that shipped the job.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}

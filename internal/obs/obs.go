@@ -17,10 +17,13 @@
 package obs
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,20 +31,55 @@ import (
 type Trace struct {
 	mu        sync.Mutex
 	now       func() time.Time // injectable for deterministic tests
+	id        string           // random hex trace ID, propagated across processes
+	spanSeq   atomic.Uint64    // span ID allocator, unique within the trace
 	root      *Span
 	metrics   *Registry
 	timelines map[string]*Timeline
+	// lanes maps extra Chrome-trace process IDs (spliced remote subtrees) to
+	// their display labels. The local process is always lane 1.
+	lanes map[int]string
 }
 
 // New starts an enabled trace whose root span is open from now on.
 func New(name string) *Trace {
+	return NewWithClock(name, time.Now)
+}
+
+// NewWithClock is New with an injectable clock — how tests keep exports
+// byte-stable and how worker processes record spans against the same clock
+// the per-connection offset handshake measured.
+func NewWithClock(name string, now func() time.Time) *Trace {
+	if now == nil {
+		now = time.Now
+	}
 	t := &Trace{
-		now:       time.Now,
+		now:       now,
+		id:        newTraceID(),
 		metrics:   NewRegistry(),
 		timelines: map[string]*Timeline{},
 	}
-	t.root = &Span{t: t, name: name, tid: 1, start: t.now()}
+	t.root = &Span{t: t, name: name, tid: 1, pid: 1, start: t.now(), id: t.spanSeq.Add(1)}
 	return t
+}
+
+// newTraceID returns 16 hex characters of crypto/rand entropy.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ID returns the trace's random hex identifier ("" when disabled). It is the
+// cross-process correlation key: job frames carry it to workers, whose
+// shipped span subtrees are spliced back under the same trace.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
 }
 
 // Enabled reports whether the trace records anything.
@@ -77,7 +115,8 @@ func (t *Trace) Timeline(name string, capacity int) *Timeline {
 		if capacity < 1 {
 			capacity = 1
 		}
-		tl = &Timeline{t: t, name: name, max: capacity}
+		tl = &Timeline{t: t, name: name, max: capacity,
+			dropCtr: t.metrics.Counter("obs.timeline.dropped")}
 		t.timelines[name] = tl
 	}
 	return tl
@@ -134,7 +173,9 @@ func (a Attr) valueString() string {
 type Span struct {
 	t        *Trace
 	name     string
+	id       uint64 // unique within the trace; 0 only for spliced remote spans
 	tid      int
+	pid      int // Chrome-trace process lane; 0 and 1 both mean "local"
 	start    time.Time
 	end      time.Time
 	attrs    []Attr
@@ -147,13 +188,32 @@ func (s *Span) Start(name string) *Span {
 		return nil
 	}
 	t := s.t
-	c := &Span{t: t, name: name}
+	c := &Span{t: t, name: name, id: t.spanSeq.Add(1)}
 	t.mu.Lock()
 	c.tid = s.tid
+	c.pid = s.pid
 	c.start = t.now()
 	s.children = append(s.children, c)
 	t.mu.Unlock()
 	return c
+}
+
+// SpanID returns the span's trace-unique identifier (0 when disabled). A
+// remote worker receiving this as its parent span ID roots its local subtree
+// under it when the coordinator splices the subtree back.
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// TraceID returns the owning trace's identifier ("" when disabled).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.t.id
 }
 
 // End closes the span; the first call wins.
@@ -306,6 +366,7 @@ type Timeline struct {
 	max     int
 	points  []TimelinePoint
 	dropped int64
+	dropCtr *Counter // obs.timeline.dropped, shared across timelines
 }
 
 // TimelinePoint is one timeline event.
@@ -329,6 +390,7 @@ func (tl *Timeline) Add(key int, val float64) {
 		tl.points = append(tl.points, TimelinePoint{At: now.Sub(tl.t.root.start), Key: key, Val: val})
 	} else {
 		tl.dropped++
+		tl.dropCtr.Inc()
 	}
 	tl.mu.Unlock()
 }

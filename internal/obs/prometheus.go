@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4). The registry's bespoke
+// dotted names are sanitised to the metric-name charset [a-zA-Z0-9_:];
+// histograms render as cumulative _bucket series plus _sum and _count.
+// Output order is deterministic: metrics sort by raw name (Values order),
+// and bucket series are ascending in le.
+
+// WritePrometheus renders every metric in Prometheus text exposition format.
+// A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, mv := range r.Values() {
+		name := sanitizeMetricName(mv.Name)
+		switch mv.Kind {
+		case "histogram":
+			b.WriteString("# TYPE ")
+			b.WriteString(name)
+			b.WriteString(" histogram\n")
+			for _, bk := range mv.Buckets {
+				b.WriteString(name)
+				b.WriteString(`_bucket{le="`)
+				b.WriteString(formatLe(bk.Le))
+				b.WriteString(`"} `)
+				b.WriteString(strconv.FormatInt(bk.Count, 10))
+				b.WriteByte('\n')
+			}
+			b.WriteString(name)
+			b.WriteString("_sum ")
+			b.WriteString(formatPromFloat(mv.Sum))
+			b.WriteByte('\n')
+			b.WriteString(name)
+			b.WriteString("_count ")
+			b.WriteString(formatPromFloat(mv.Value))
+			b.WriteByte('\n')
+		default:
+			b.WriteString("# TYPE ")
+			b.WriteString(name)
+			b.WriteByte(' ')
+			b.WriteString(mv.Kind)
+			b.WriteByte('\n')
+			b.WriteString(name)
+			b.WriteByte(' ')
+			b.WriteString(formatPromFloat(mv.Value))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sanitizeMetricName maps an arbitrary registry name onto the Prometheus
+// metric-name charset: invalid runes become '_', and a leading digit gets a
+// '_' prefix.
+func sanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if c >= '0' && c <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteByte(c)
+			continue
+		}
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatLe renders a bucket upper bound; the overflow bucket is "+Inf".
+func formatLe(le float64) string {
+	if math.IsInf(le, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(le, 'g', -1, 64)
+}
+
+// formatPromFloat renders a sample value in the shortest round-trip form.
+func formatPromFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Process runtime gauges, sampled from runtime/metrics by a background
+// collector so /metrics answers scrape questions ("is the server leaking
+// goroutines? how big is the heap? how much time has GC stolen?") without
+// any per-request cost.
+
+// runtimeSamples maps runtime/metrics names onto registry gauge names.
+// Unsupported names (older toolchains) are skipped at first sample.
+var runtimeSamples = []struct {
+	src   string
+	gauge string
+}{
+	{"/sched/goroutines:goroutines", "process.goroutines"},
+	{"/memory/classes/heap/objects:bytes", "process.heap.objects_bytes"},
+	{"/memory/classes/total:bytes", "process.memory.total_bytes"},
+	{"/gc/cycles/total:gc-cycles", "process.gc.cycles"},
+	{"/cpu/classes/gc/pause:cpu-seconds", "process.gc.pause_total_seconds"},
+}
+
+// StartRuntimeCollector samples process runtime gauges (goroutine count,
+// heap bytes, GC cycle and pause totals) into the registry every interval,
+// plus once immediately. It returns a stop function (idempotent). A nil
+// registry returns a no-op stop.
+func (r *Registry) StartRuntimeCollector(interval time.Duration) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	gauges := make([]*Gauge, len(runtimeSamples))
+	for i, rs := range runtimeSamples {
+		samples[i].Name = rs.src
+		gauges[i] = r.Gauge(rs.gauge)
+	}
+	collect := func() {
+		metrics.Read(samples)
+		for i := range samples {
+			switch samples[i].Value.Kind() {
+			case metrics.KindUint64:
+				gauges[i].Set(float64(samples[i].Value.Uint64()))
+			case metrics.KindFloat64:
+				gauges[i].Set(samples[i].Value.Float64())
+			}
+		}
+	}
+	collect()
+
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				collect()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"enframe/internal/network"
+	"enframe/internal/obs"
 )
 
 // CompileExec compiles the network by shipping depth-d decision-tree jobs to
@@ -200,7 +201,19 @@ func CompileExecObserve(ctx context.Context, net *network.Net, opts Options, exe
 				cj.state = jInflight
 				inflight++
 				go func(id uint64, wj *WireJob) {
-					res, err := exec.ExecuteJob(runCtx, wj)
+					// Per-job span carried on the context: a pool executor
+					// propagates its trace context to the worker and splices
+					// the remote subtree back underneath. Nil (tracing off)
+					// flows through every call without allocating.
+					jspan := dspan.Start("job")
+					jspan.SetInt("id", int64(id))
+					jspan.SetInt("depth", int64(len(wj.Path)))
+					res, err := exec.ExecuteJob(obs.ContextWithSpan(runCtx, jspan), wj)
+					if res != nil {
+						jspan.SetInt("items", int64(len(res.Items)))
+						jspan.SetInt("forks", int64(len(res.Forks)))
+					}
+					jspan.End()
 					resCh <- execDone{id: id, res: res, err: err}
 				}(id, cj.wj)
 			}

@@ -55,27 +55,52 @@ func newArtifactCache(max int, reg *obs.Registry) *artifactCache {
 	}
 }
 
+// cacheOutcome is how one request resolved its artifact: a fresh
+// preparation, an LRU hit, or a wait coalesced onto another caller's
+// in-flight preparation. The response body reports coalesced waits as plain
+// hits (the artifact was reused); the access log keeps the distinction.
+type cacheOutcome uint8
+
+const (
+	cacheMiss cacheOutcome = iota
+	cacheHit
+	cacheCoalesced
+)
+
+func (o cacheOutcome) String() string {
+	switch o {
+	case cacheHit:
+		return "hit"
+	case cacheCoalesced:
+		return "coalesced"
+	}
+	return "miss"
+}
+
+// reused reports whether the artifact was served without paying for
+// preparation — the "hit" notion of the response body.
+func (o cacheOutcome) reused() bool { return o != cacheMiss }
+
 // getOrPrepare returns the artifact for key, preparing it with prepare() on
-// a miss. The hit return reports whether the artifact was reused (true for
-// LRU hits and for waits coalesced onto another caller's preparation).
-// Failed preparations are not cached; every waiter receives the same error.
-func (c *artifactCache) getOrPrepare(key string, prepare func() (*core.Artifact, error)) (art *core.Artifact, hit bool, err error) {
+// a miss. Failed preparations are not cached; every waiter receives the same
+// error.
+func (c *artifactCache) getOrPrepare(key string, prepare func() (*core.Artifact, error)) (art *core.Artifact, outcome cacheOutcome, err error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.mu.Unlock()
 		c.hits.Inc()
-		return el.Value.(*cacheEntry).art, true, nil
+		return el.Value.(*cacheEntry).art, cacheHit, nil
 	}
 	if call, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
 		<-call.done
 		if call.err != nil {
-			return nil, false, call.err
+			return nil, cacheMiss, call.err
 		}
 		c.hits.Inc()
 		c.coalesced.Inc()
-		return call.art, true, nil
+		return call.art, cacheCoalesced, nil
 	}
 	call := &prepareCall{done: make(chan struct{})}
 	c.inflight[key] = call
@@ -91,7 +116,7 @@ func (c *artifactCache) getOrPrepare(key string, prepare func() (*core.Artifact,
 		c.add(key, call.art)
 	}
 	c.mu.Unlock()
-	return call.art, false, call.err
+	return call.art, cacheMiss, call.err
 }
 
 // add inserts under c.mu, evicting from the LRU tail past capacity.

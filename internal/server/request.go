@@ -60,6 +60,10 @@ type RunRequest struct {
 	// plane is unreachable or lost mid-run; by default such failures
 	// answer 502 Bad Gateway.
 	RemoteFallback bool `json:"remote_fallback,omitempty"`
+	// Trace asks for a per-request execution trace: the response carries the
+	// span tree under "trace", with remote worker subtrees spliced in on
+	// their own process lanes. Tracing never affects the cache key.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // DataSpec mirrors the CLI data-generation flags. Kind "sensor" (default)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"enframe/internal/core"
+	"enframe/internal/obs"
 )
 
 // RunResponse is the body of a successful POST /v1/run.
@@ -24,6 +25,10 @@ type RunResponse struct {
 	// Remote reports how the distributed plane served the request; absent
 	// for purely local runs.
 	Remote *RemoteResponse `json:"remote,omitempty"`
+	// Trace is the per-request span tree, present when the request set
+	// "trace": true. Remote worker subtrees appear under their ship spans
+	// with distinct pid lanes.
+	Trace *obs.SpanExport `json:"trace,omitempty"`
 }
 
 // RemoteResponse describes the distributed plane's involvement in one run.

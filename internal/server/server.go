@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -56,6 +57,10 @@ type Config struct {
 	// Registry receives the server metrics; a fresh one is created when
 	// nil. GET /metrics renders it.
 	Registry *obs.Registry
+	// AccessLog, when non-nil, receives one structured line per request:
+	// request ID, route, status, outcome, artifact/cache disposition,
+	// duration, and response bytes. Nil disables access logging.
+	AccessLog *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -99,11 +104,15 @@ type Server struct {
 	workSlots  chan struct{}
 	queueSlots chan struct{}
 
-	httpSrv  *http.Server
-	listener net.Listener
-	draining atomic.Bool
-	inflight atomic.Int64
-	serveErr chan error
+	httpSrv   *http.Server
+	listener  net.Listener
+	draining  atomic.Bool
+	inflight  atomic.Int64
+	serveErr  chan error
+	accessLog *slog.Logger
+
+	// stopRuntime halts the process-gauge collector started by Start.
+	stopRuntime func()
 
 	// pools caches worker pools by their sorted address list, so repeated
 	// requests naming the same worker set reuse live connections and
@@ -145,6 +154,7 @@ func New(cfg Config) *Server {
 		queueSlots: make(chan struct{}, cfg.MaxInflight+cfg.QueueDepth),
 		serveErr:   make(chan error, 1),
 		pools:      map[string]*dist.Pool{},
+		accessLog:  cfg.AccessLog,
 
 		mRequests:       cfg.Registry.Counter("server.requests"),
 		mOK:             cfg.Registry.Counter("server.responses.ok"),
@@ -182,7 +192,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return mux
+	return s.withTelemetry(mux)
 }
 
 // Start binds the configured address and serves in the background. The
@@ -193,6 +203,9 @@ func (s *Server) Start() error {
 		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
 	}
 	s.listener = ln
+	// Process runtime gauges (goroutines, heap, GC) refresh for as long as
+	// the server serves; handler-only embeddings (httptest) skip them.
+	s.stopRuntime = s.reg.StartRuntimeCollector(0)
 	go func() {
 		err := s.httpSrv.Serve(ln)
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -220,6 +233,9 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // is torn down.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.stopRuntime != nil {
+		s.stopRuntime()
+	}
 	err := s.httpSrv.Shutdown(ctx)
 	if serr, ok := <-s.serveErr; ok && err == nil {
 		err = serr
@@ -278,8 +294,16 @@ type bucketJSON struct {
 	Count int64 `json:"count"`
 }
 
+// handleMetrics negotiates among three renderings of the same registry:
+// ?format=json (or Accept: application/json) keeps the structured JSON form,
+// ?format=prometheus (or an Accept naming text/plain, as Prometheus scrapers
+// send) gets the exposition-format text, and everything else — including
+// curl's bare Accept: */* — keeps the legacy human-readable dump.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Query().Get("format") == "json" {
+	format := r.URL.Query().Get("format")
+	accept := r.Header.Get("Accept")
+	switch {
+	case format == "json" || (format == "" && strings.Contains(accept, "application/json")):
 		vals := s.reg.Values()
 		out := make([]metricJSON, 0, len(vals))
 		for _, v := range vals {
@@ -294,10 +318,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			out = append(out, m)
 		}
 		writeJSON(w, http.StatusOK, out)
-		return
+	case format == "prometheus" || (format == "" && strings.Contains(accept, "text/plain")):
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WritePrometheus(w)
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, s.reg.String())
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, s.reg.String())
 }
 
 // handleRun is POST /v1/run: admission → decode → cache-aware pipeline →
@@ -344,6 +371,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	info := infoFrom(r.Context())
+	info.artifact = key
 
 	// Per-request hard deadline, clamped to the server maximum. It covers
 	// queueing and the whole pipeline, and is joined with the client's
@@ -374,8 +403,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		testHookInflight()
 	}
 
+	// Per-request tracing is opt-in: the whole pipeline runs under one trace
+	// whose span tree (including spliced remote worker subtrees) returns
+	// inline in the response.
+	var tr *obs.Trace
+	if req.Trace {
+		tr = obs.New("run")
+		tr.Root().SetStr("request_id", info.id)
+	}
+
 	t0 := time.Now()
-	rep, hit, remote, err := s.execute(ctx, spec, key, req)
+	rep, cache, remote, err := s.execute(ctx, spec, key, req, tr)
+	info.cache = cache.String()
+	info.remote = remote.used
+	info.fallback = remote.fellBack
 	if err != nil {
 		if ctx.Err() != nil {
 			s.finishCtxErr(w, r, ctx)
@@ -395,7 +436,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	s.hLatency.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
 	s.mOK.Inc()
-	writeJSON(w, http.StatusOK, buildResponse(req, rep, hit, remote))
+	resp := buildResponse(req, rep, cache.reused(), remote)
+	if tr != nil {
+		tr.Finish()
+		ex := tr.Root().Export()
+		resp.Trace = &ex
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // isRemoteError classifies distributed-plane failures for the 502 contract:
@@ -418,14 +465,14 @@ type remoteStatus struct {
 // request names remote_workers. A coalesced preparation that failed only
 // because the leading request's context expired is retried once under our
 // own context.
-func (s *Server) execute(ctx context.Context, spec core.Spec, key string, req RunRequest) (*core.Report, bool, remoteStatus, error) {
+func (s *Server) execute(ctx context.Context, spec core.Spec, key string, req RunRequest, tr *obs.Trace) (*core.Report, cacheOutcome, remoteStatus, error) {
 	prepare := func() (*core.Artifact, error) { return core.PrepareContext(ctx, spec) }
-	art, hit, err := s.cache.getOrPrepare(key, prepare)
+	art, cache, err := s.cache.getOrPrepare(key, prepare)
 	if err != nil && isCtxError(err) && ctx.Err() == nil {
-		art, hit, err = s.cache.getOrPrepare(key, prepare)
+		art, cache, err = s.cache.getOrPrepare(key, prepare)
 	}
 	if err != nil {
-		return nil, false, remoteStatus{}, err
+		return nil, cache, remoteStatus{}, err
 	}
 
 	strategy, _ := parseStrategy(req.Strategy) // validated by BuildSpec
@@ -437,15 +484,16 @@ func (s *Server) execute(ctx context.Context, spec core.Spec, key string, req Ru
 		JobDepth:  req.JobDepth,
 		Heuristic: heuristic,
 		Timeout:   time.Duration(req.SoftTimeoutMs) * time.Millisecond,
+		Obs:       tr,
 	}
 
 	if len(req.RemoteWorkers) > 0 {
 		rep, remote, rerr := s.executeRemote(ctx, art, key, req, opts)
 		if rerr == nil {
-			return rep, hit, remote, nil
+			return rep, cache, remote, nil
 		}
 		if !req.RemoteFallback || ctx.Err() != nil || !isRemoteError(rerr) {
-			return nil, hit, remote, rerr
+			return nil, cache, remote, rerr
 		}
 		// The plane is down and the request opted into degraded mode: run
 		// locally and say so in the response.
@@ -454,10 +502,10 @@ func (s *Server) execute(ctx context.Context, spec core.Spec, key string, req Ru
 
 	rep, err := art.CompileContext(ctx, opts)
 	if err != nil {
-		return nil, hit, remoteStatus{}, err
+		return nil, cache, remoteStatus{}, err
 	}
 	remote := remoteStatus{fellBack: len(req.RemoteWorkers) > 0}
-	return rep, hit, remote, nil
+	return rep, cache, remote, nil
 }
 
 // executeRemote ships the compilation to the request's worker set via a
