@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test test-short test-race vet fuzz-smoke fuzz bench bench-serve bench-compare alloc-guard obs-race smoke serve-smoke worker-smoke trace-smoke bench-distributed ci
+.PHONY: build test test-short test-race vet fuzz-smoke fuzz bench bench-serve bench-compare alloc-guard obs-race smoke serve-smoke worker-smoke trace-smoke bench-distributed circuit-equiv bench-whatif ci
 
 build:
 	$(GO) build ./...
@@ -96,4 +96,19 @@ trace-smoke: build
 bench-distributed: build
 	$(GO) run ./cmd/distbench -out BENCH_distributed.json
 
-ci: vet build test test-race obs-race alloc-guard smoke serve-smoke worker-smoke trace-smoke bench-distributed
+# circuit-equiv runs the circuit-backend oracle under the race detector:
+# 300 generated programs compiled via the traced circuit must be
+# bit-identical to plain exact compilation (marginals and work counters),
+# with deterministic re-traces and tolerance-checked replay at perturbed
+# probabilities (DESIGN.md, "Circuit backend").
+circuit-equiv:
+	$(GO) test -race ./internal/difftest -run '^TestCircuit' -count=1
+
+# bench-whatif benchmarks the /v1/whatif circuit serving mode and refreshes
+# BENCH_whatif.json: a warm 32-point sweep must replay the cached circuit
+# with zero recompilations, and one replay must beat one warm recompile by
+# at least 5× per point.
+bench-whatif: build
+	$(GO) run ./cmd/loadgen -whatif -out BENCH_whatif.json
+
+ci: vet build test test-race obs-race alloc-guard smoke serve-smoke worker-smoke trace-smoke bench-distributed circuit-equiv bench-whatif

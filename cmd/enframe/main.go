@@ -76,7 +76,7 @@ var (
 	iterFlag    = runFlags.Int("iter", 3, "number of iterations")
 	rFlag       = runFlags.Int("r", 2, "Hadamard power (mcl)")
 	targetsFlag = runFlags.String("targets", "Centre[", "comma-separated target symbols or prefixes ending in [")
-	stratFlag   = runFlags.String("strategy", "exact", "exact, eager, lazy, or hybrid")
+	stratFlag   = runFlags.String("strategy", "exact", "exact, eager, lazy, hybrid, or circuit")
 	epsFlag     = runFlags.Float64("eps", 0.1, "absolute approximation error ε")
 	workersFlag = runFlags.Int("workers", 1, "distributed workers (>1 enables distribution)")
 	jobFlag     = runFlags.Int("job", 3, "distributed job size d")
@@ -160,8 +160,14 @@ func validateFlags(strategy prob.Strategy) error {
 	if *jobFlag < 1 {
 		return fmt.Errorf("flag -job: must be ≥ 1 (got %d)", *jobFlag)
 	}
-	if strategy != prob.Exact && *epsFlag <= 0 {
+	if strategy != prob.Exact && strategy != prob.Circuit && *epsFlag <= 0 {
 		return fmt.Errorf("flag -eps: must be > 0 with strategy %q (got %g)", *stratFlag, *epsFlag)
+	}
+	if strategy == prob.Circuit && *workersFlag > 1 {
+		return fmt.Errorf("flag -workers: strategy circuit compiles sequentially (got %d)", *workersFlag)
+	}
+	if strategy == prob.Circuit && *remoteFlag != "" {
+		return fmt.Errorf("flag -remote: incompatible with strategy circuit")
 	}
 	if *topFlag < 0 {
 		return fmt.Errorf("flag -top: must be ≥ 0 (got %d)", *topFlag)
@@ -386,8 +392,10 @@ func parseStrategy(s string) (prob.Strategy, error) {
 		return prob.Lazy, nil
 	case "hybrid":
 		return prob.Hybrid, nil
+	case "circuit":
+		return prob.Circuit, nil
 	}
-	return 0, fmt.Errorf("flag -strategy: unknown strategy %q (want exact, eager, lazy, or hybrid)", s)
+	return 0, fmt.Errorf("flag -strategy: unknown strategy %q (want exact, eager, lazy, hybrid, or circuit)", s)
 }
 
 func splitTargets(s string) []string {

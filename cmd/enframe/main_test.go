@@ -11,10 +11,10 @@ import (
 func setFlags(t *testing.T, f func()) {
 	t.Helper()
 	saveW, saveJ, saveE, saveT, saveN, saveK, saveI := *workersFlag, *jobFlag, *epsFlag, *topFlag, *nFlag, *kFlag, *iterFlag
-	saveS := *stratFlag
+	saveS, saveR := *stratFlag, *remoteFlag
 	t.Cleanup(func() {
 		*workersFlag, *jobFlag, *epsFlag, *topFlag, *nFlag, *kFlag, *iterFlag = saveW, saveJ, saveE, saveT, saveN, saveK, saveI
-		*stratFlag = saveS
+		*stratFlag, *remoteFlag = saveS, saveR
 	})
 	f()
 }
@@ -32,6 +32,9 @@ func TestValidateFlags(t *testing.T) {
 		{"job-zero", prob.Exact, func() { *jobFlag = 0 }, "-job"},
 		{"eps-zero-hybrid", prob.Hybrid, func() { *epsFlag = 0 }, "-eps"},
 		{"eps-zero-exact-ok", prob.Exact, func() { *epsFlag = 0 }, ""},
+		{"eps-zero-circuit-ok", prob.Circuit, func() { *epsFlag = 0 }, ""},
+		{"circuit-workers", prob.Circuit, func() { *workersFlag = 4 }, "-workers"},
+		{"circuit-remote", prob.Circuit, func() { *remoteFlag = "127.0.0.1:9000" }, "-remote"},
 		{"top-negative", prob.Exact, func() { *topFlag = -1 }, "-top"},
 		{"n-zero", prob.Exact, func() { *nFlag = 0 }, "-n"},
 		{"k-zero", prob.Exact, func() { *kFlag = 0 }, "-k"},
@@ -59,11 +62,16 @@ func TestValidateFlags(t *testing.T) {
 
 func TestParseStrategy(t *testing.T) {
 	for s, want := range map[string]prob.Strategy{
-		"exact": prob.Exact, "eager": prob.Eager, "lazy": prob.Lazy, "hybrid": prob.Hybrid,
+		"exact": prob.Exact, "eager": prob.Eager, "lazy": prob.Lazy,
+		"hybrid": prob.Hybrid, "circuit": prob.Circuit,
 	} {
 		got, err := parseStrategy(s)
 		if err != nil || got != want {
 			t.Errorf("parseStrategy(%q) = %v, %v; want %v, nil", s, got, err, want)
+		}
+		// Round-trip: the flag value a strategy prints parses back to it.
+		if rt, err := parseStrategy(want.String()); err != nil || rt != want {
+			t.Errorf("parseStrategy(%v.String()) = %v, %v; want %v, nil", want, rt, err, want)
 		}
 	}
 	if _, err := parseStrategy("banana"); err == nil {

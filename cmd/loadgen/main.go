@@ -16,6 +16,12 @@
 // `loadgen -smoke` instead runs the CI smoke check: POST one builtin
 // kmedoids request twice, assert the second response reports a cache hit,
 // then drain — exiting nonzero on any violation.
+//
+// `loadgen -whatif` benchmarks the circuit serving mode: one cold
+// /v1/whatif sweep pays the trace, warm sweeps must replay the cached
+// circuit with zero recompilations (verified via circuit.cache.hits), and
+// the per-point replay cost is gated to beat a warm recompilation by ≥5×.
+// The snapshot lands in BENCH_whatif.json (-out).
 package main
 
 import (
@@ -44,6 +50,8 @@ var (
 	nFlag    = flag.Int("n", 10, "data points per request")
 	varsFlag = flag.Int("vars", 6, "variable pool of the positive scheme")
 	smokeFlg = flag.Bool("smoke", false, "run the CI smoke check instead of a load run")
+	whatifFl = flag.Bool("whatif", false,
+		"run the what-if circuit benchmark (warm sweep replay vs recompilation) instead of a load run")
 	coldFlag = flag.Bool("no-cache-key", false,
 		"jitter every request's data seed so no cache key repeats (measures the cold path)")
 )
@@ -270,6 +278,198 @@ func coldSummary(s snapshot) map[string]float64 {
 	}
 }
 
+// whatifSpeedupFloor is the acceptance gate of the what-if benchmark: one
+// circuit replay must beat one warm recompilation by at least this factor.
+const whatifSpeedupFloor = 5.0
+
+// whatifSteps is the sweep grid size of the benchmark.
+const whatifSteps = 32
+
+// benchWhatifData is the benchmark workload: the BENCH_pipeline kmedoids
+// configuration (n=24, vars=10, k=2, iter=3), whose exact compile costs
+// tens of milliseconds — enough to make the replay-vs-recompile contrast
+// meaningful.
+func benchWhatifData() (server.DataSpec, server.ParamSpec) {
+	return server.DataSpec{N: 24, Vars: 10, L: 8, Seed: 1}, server.ParamSpec{K: 2, Iter: 3}
+}
+
+// postWhatif sends one what-if sweep and returns the decoded response.
+func postWhatif(client *http.Client, addr string) (time.Duration, int, server.WhatifResponse, error) {
+	data, params := benchWhatifData()
+	body, err := json.Marshal(server.WhatifRequest{
+		Program: "kmedoids", Data: data, Params: params, Steps: whatifSteps,
+	})
+	if err != nil {
+		return 0, 0, server.WhatifResponse{}, err
+	}
+	start := time.Now()
+	resp, err := client.Post("http://"+addr+"/v1/whatif", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return time.Since(start), 0, server.WhatifResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out server.WhatifResponse
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return time.Since(start), resp.StatusCode, out, err
+}
+
+// postRunCompileMs sends one run request and returns its server-side
+// compile time in milliseconds.
+func postRunCompileMs(client *http.Client, addr string) (float64, string, error) {
+	data, params := benchWhatifData()
+	body, err := json.Marshal(server.RunRequest{
+		Program: "kmedoids", Data: data, Params: params,
+	})
+	if err != nil {
+		return 0, "", err
+	}
+	resp, err := client.Post("http://"+addr+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, "", fmt.Errorf("run: status %d", resp.StatusCode)
+	}
+	var out struct {
+		Cache     string `json:"cache"`
+		TimingsMs struct {
+			Compile float64 `json:"compile"`
+		} `json:"timings_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, "", err
+	}
+	return out.TimingsMs.Compile, out.Cache, nil
+}
+
+// fetchCounter reads one counter off /metrics?format=json (-1 on failure).
+func fetchCounter(addr, name string) float64 {
+	resp, err := http.Get("http://" + addr + "/metrics?format=json")
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	var vals []struct {
+		Name  string  `json:"name"`
+		Value float64 `json:"value"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vals); err != nil {
+		return -1
+	}
+	for _, v := range vals {
+		if v.Name == name {
+			return v.Value
+		}
+	}
+	return -1
+}
+
+// benchWhatif measures the circuit serving mode: one cold sweep (pays the
+// trace), warmRuns warm sweeps (replay only — verified against the server's
+// circuit.cache.hits counter), and a recompilation baseline of warm
+// /v1/run requests on the same artifact (cache hit, so each pays exactly
+// one compile). It fails when a warm sweep recompiled or when a per-point
+// replay is not at least whatifSpeedupFloor× faster than a recompile.
+func benchWhatif(addr string) error {
+	const warmRuns = 8
+	client := &http.Client{}
+
+	coldLat, status, cold, err := postWhatif(client, addr)
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("cold whatif: status %d err %v", status, err)
+	}
+	if cold.Circuit.Cached {
+		return fmt.Errorf("cold whatif reported a cached circuit")
+	}
+	if !cold.Circuit.Complete {
+		return fmt.Errorf("cold whatif circuit is incomplete")
+	}
+
+	var warmEvalMs, warmLatMs []float64
+	for i := 0; i < warmRuns; i++ {
+		lat, status, warm, err := postWhatif(client, addr)
+		if err != nil || status != http.StatusOK {
+			return fmt.Errorf("warm whatif %d: status %d err %v", i, status, err)
+		}
+		if !warm.Circuit.Cached {
+			return fmt.Errorf("warm whatif %d recompiled the circuit", i)
+		}
+		warmEvalMs = append(warmEvalMs, warm.Circuit.EvalMs)
+		warmLatMs = append(warmLatMs, float64(lat)/float64(time.Millisecond))
+	}
+	if hits := fetchCounter(addr, "circuit.cache.hits"); hits != warmRuns {
+		return fmt.Errorf("circuit.cache.hits = %g after %d warm sweeps, want %d (warm sweeps must not recompile)",
+			hits, warmRuns, warmRuns)
+	}
+
+	// Recompilation baseline: the artifact is cached, so each /v1/run pays
+	// one compile and nothing else — what each sweep point would cost
+	// without the circuit.
+	var compileMs []float64
+	for i := 0; i < warmRuns; i++ {
+		ms, cache, err := postRunCompileMs(client, addr)
+		if err != nil {
+			return fmt.Errorf("recompile baseline %d: %v", i, err)
+		}
+		if i > 0 && cache != "hit" {
+			return fmt.Errorf("recompile baseline %d: artifact cache %q, want hit", i, cache)
+		}
+		compileMs = append(compileMs, ms)
+	}
+
+	median := func(xs []float64) float64 {
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		return s[len(s)/2]
+	}
+	recompile := median(compileMs)
+	evalSweep := median(warmEvalMs)
+	evalPoint := evalSweep / whatifSteps
+	speedup := recompile / evalPoint
+
+	data, params := benchWhatifData()
+	out := map[string]any{
+		"workload": map[string]any{
+			"program": "kmedoids", "n": data.N, "vars": data.Vars, "l": data.L,
+			"k": params.K, "iter": params.Iter, "steps": whatifSteps,
+		},
+		"circuit": map[string]any{
+			"nodes": cold.Circuit.Nodes, "events": cold.Circuit.Events,
+			"trace_ms": cold.Circuit.TraceMs,
+		},
+		"cold_sweep_ms":        float64(coldLat) / float64(time.Millisecond),
+		"warm_sweep_ms_p50":    median(warmLatMs),
+		"eval_ms_per_sweep":    evalSweep,
+		"eval_ms_per_point":    evalPoint,
+		"recompile_ms":         recompile,
+		"speedup_per_point":    speedup,
+		"speedup_floor":        whatifSpeedupFloor,
+		"warm_sweeps":          warmRuns,
+		"circuit_cache_hits":   warmRuns,
+		"circuit_cache_misses": 1,
+	}
+	f, err := os.Create(*outFlag)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: trace %.1fms, eval %.3fms/point (%.2fms/sweep of %d), recompile %.1fms, speedup %.0f×\n",
+		*outFlag, cold.Circuit.TraceMs, evalPoint, evalSweep, whatifSteps, recompile, speedup)
+	if speedup < whatifSpeedupFloor {
+		return fmt.Errorf("speedup %.1f× below the %.0f× floor", speedup, whatifSpeedupFloor)
+	}
+	return nil
+}
+
 // smoke is the CI check: two identical requests, the second must be a
 // cache hit, and the server must drain cleanly afterwards.
 func smoke(addr string) error {
@@ -308,6 +508,15 @@ func main() {
 		stop() // the drain is part of the smoke check
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen: smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *whatifFl {
+		err := benchWhatif(addr)
+		stop()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: whatif:", err)
 			os.Exit(1)
 		}
 		return

@@ -9,12 +9,14 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"enframe/internal/circuit"
 	"enframe/internal/event"
 	"enframe/internal/lang"
 	"enframe/internal/lineage"
@@ -113,6 +115,22 @@ type Artifact struct {
 	// so cache hits re-enter compilation past the order stage too.
 	ordersMu sync.Mutex
 	orders   map[prob.OrderHeuristic][]event.VarID
+
+	// circuits memoizes the traced arithmetic circuit per heuristic, with
+	// the same single-flight coalescing as the serving layer's artifact
+	// cache: concurrent first callers share one trace. Only complete
+	// circuits are cached (a timed-out partial trace must not serve
+	// replay-at-other-probabilities queries forever after).
+	circuitsMu sync.Mutex
+	circuits   map[prob.OrderHeuristic]*circuitCall
+}
+
+// circuitCall is one in-flight or completed circuit trace.
+type circuitCall struct {
+	done chan struct{}
+	c    *circuit.Circuit
+	res  *prob.Result
+	err  error
 }
 
 // Run executes the full ENFrame pipeline. When spec.Compile.Obs is set,
@@ -277,6 +295,61 @@ func (a *Artifact) Order(h prob.OrderHeuristic) []event.VarID {
 		a.orders[h] = order
 	}
 	return order
+}
+
+// Circuit returns the artifact's traced arithmetic circuit for the
+// heuristic, compiling it on first use; cached reports whether the circuit
+// came from the memo (a warm call costs zero compilations). Concurrent
+// first callers coalesce onto one trace; a leader whose context dies hands
+// leadership to the next waiter instead of caching its failure. When
+// opts.Order overrides the variable order the memo is bypassed entirely.
+func (a *Artifact) Circuit(ctx context.Context, opts prob.Options) (*circuit.Circuit, *prob.Result, bool, error) {
+	opts.Strategy = prob.Circuit
+	if opts.Order != nil {
+		c, res, err := prob.CompileCircuit(ctx, a.Net, opts)
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("core: compile: %w", err)
+		}
+		return c, res, false, nil
+	}
+	opts.Order = a.Order(opts.Heuristic)
+	for {
+		a.circuitsMu.Lock()
+		if call, ok := a.circuits[opts.Heuristic]; ok {
+			a.circuitsMu.Unlock()
+			select {
+			case <-call.done:
+			case <-ctx.Done():
+				return nil, nil, false, fmt.Errorf("core: %w", ctx.Err())
+			}
+			if call.err == nil {
+				return call.c, call.res, true, nil
+			}
+			if errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded) {
+				continue // the leader's context died; retry as the new leader
+			}
+			return nil, nil, false, call.err
+		}
+		call := &circuitCall{done: make(chan struct{})}
+		if a.circuits == nil {
+			a.circuits = map[prob.OrderHeuristic]*circuitCall{}
+		}
+		a.circuits[opts.Heuristic] = call
+		a.circuitsMu.Unlock()
+
+		c, res, err := prob.CompileCircuit(ctx, a.Net, opts)
+		if err != nil {
+			err = fmt.Errorf("core: compile: %w", err)
+		}
+		call.c, call.res, call.err = c, res, err
+		if err != nil || !c.Complete() {
+			a.circuitsMu.Lock()
+			delete(a.circuits, opts.Heuristic)
+			a.circuitsMu.Unlock()
+		}
+		close(call.done)
+		return c, res, false, err
+	}
 }
 
 // CompileContext computes probabilities on the prepared network with fresh

@@ -1,6 +1,6 @@
 // Package difftest is the end-to-end differential verification harness. For
 // one generated program (internal/gen) it computes every checked symbol
-// through four independent paths and asserts they agree:
+// through five independent paths and asserts they agree:
 //
 //  1. the naïve per-world oracle — enumerate all possible worlds
 //     (internal/worlds) and run the interpreter (internal/interp) in each;
@@ -12,7 +12,10 @@
 //  4. the opposite compilation core (prob.Options.LegacyCore flipped) —
 //     required to be bit-identical to path 2, not merely within tolerance:
 //     the bit-parallel flat core and the legacy nmask walker must perform
-//     the same floating-point operations in the same order.
+//     the same floating-point operations in the same order;
+//  5. the knowledge-compilation circuit backend (prob.Circuit) — an exact
+//     trace recorded into an arithmetic circuit and replayed, likewise
+//     required to be bit-identical to path 2 including work counters.
 //
 // On top of the exact agreement it checks the ε-approximation contract of
 // the eager, lazy, and hybrid strategies (truth within bounds, gap ≤ 2ε,
@@ -253,6 +256,16 @@ func checkProgram(p *gen.Program, opt Options) (f *Failure) {
 		return &Failure{Stage: "cross-core", Detail: err.Error()}
 	}
 	if f := checkBitIdentical(cross, exact, "cross-core"); f != nil {
+		return f
+	}
+	// Path 5: the knowledge-compilation circuit backend. Tracing the exact
+	// walk into a circuit and replaying it must reproduce the exact
+	// compiler's float-op sequence — bounds and work counters bit-identical.
+	circ, err := prob.Compile(net, prob.Options{Strategy: prob.Circuit, LegacyCore: opt.LegacyCore})
+	if err != nil {
+		return &Failure{Stage: "circuit", Detail: err.Error()}
+	}
+	if f := checkBitIdentical(circ, exact, "circuit"); f != nil {
 		return f
 	}
 	ref, err := prob.CompileRef(net, prob.Options{Strategy: prob.Exact})

@@ -21,6 +21,14 @@ func TestWritePrometheusGolden(t *testing.T) {
 	for _, v := range []float64{0.5, 3, 3, 17, 400} {
 		h.Observe(v)
 	}
+	// The circuit-backend serving metrics (SERVING.md, /v1/whatif).
+	r.Counter("circuit.cache.hits").Add(3)
+	r.Counter("circuit.cache.misses").Add(1)
+	r.Gauge("circuit.nodes").Set(512)
+	he := r.Histogram("circuit.eval_ms", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.02, 0.4, 2.5} {
+		he.Observe(v)
+	}
 
 	var buf bytes.Buffer
 	if err := r.WritePrometheus(&buf); err != nil {

@@ -37,6 +37,13 @@ func Order(net *network.Net, h OrderHeuristic) []event.VarID {
 // distinct from Options.Timeout, which returns the partial bounds reached so
 // far with Result.TimedOut set.
 func CompileCtx(ctx context.Context, net *network.Net, opts Options) (*Result, error) {
+	if opts.Strategy == Circuit {
+		// The circuit backend traces one exact sequential compilation and
+		// answers from a replay of the recorded circuit (see circuit.go);
+		// callers needing the reusable circuit itself use CompileCircuit.
+		_, res, err := CompileCircuit(ctx, net, opts)
+		return res, err
+	}
 	opts = opts.withDefaults()
 	if len(net.Targets) == 0 {
 		return nil, ErrNoTargets

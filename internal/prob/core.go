@@ -42,6 +42,11 @@ type compCore interface {
 	nextVar(oi int) (int, event.VarID, bool)
 	// allSettled reports the termination condition of Algorithm 1.
 	allSettled() bool
+	// unmaskedTargets counts targets not yet decided on the current branch;
+	// the circuit tracer uses it to detect lossy cuts (a subtree skipped
+	// while targets were still undecided cannot replay at other
+	// probability assignments).
+	unmaskedTargets() int
 	// st exposes the state's work counters.
 	st() *Stats
 	// setRecording gates target-bound accumulation (off during job replay).
@@ -89,10 +94,11 @@ func (s *state) attachRun(order []event.VarID, deadline time.Time, stop, timed *
 	s.timedFlag = timed
 }
 
-func (s *state) trailMark() int  { return len(s.trail) }
-func (s *state) clearTrail()     { s.trail = s.trail[:0] }
-func (s *state) st() *Stats      { return &s.stats }
-func (s *state) setRecording(on bool) { s.recording = on }
+func (s *state) trailMark() int                                   { return len(s.trail) }
+func (s *state) clearTrail()                                      { s.trail = s.trail[:0] }
+func (s *state) st() *Stats                                       { return &s.stats }
+func (s *state) unmaskedTargets() int                             { return s.nUnmasked }
+func (s *state) setRecording(on bool)                             { s.recording = on }
 func (s *state) setOnAdd(fn func(ti int, isTrue bool, p float64)) { s.onAdd = fn }
 
 func (s *state) forkSnap() coreSnap {

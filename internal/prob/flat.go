@@ -307,11 +307,12 @@ func (s *fstate) clearTrail() {
 	s.trailSums = s.trailSums[:0]
 }
 
-func (s *fstate) st() *Stats                                      { return &s.stats }
-func (s *fstate) setRecording(on bool)                            { s.recording = on }
+func (s *fstate) st() *Stats                                       { return &s.stats }
+func (s *fstate) unmaskedTargets() int                             { return s.nUnmasked }
+func (s *fstate) setRecording(on bool)                             { s.recording = on }
 func (s *fstate) setOnAdd(fn func(ti int, isTrue bool, p float64)) { s.onAdd = fn }
 
-func (s *fstate) bval(id network.NodeID) int8      { return bval3(s.decT, s.decF, int32(id)) }
+func (s *fstate) bval(id network.NodeID) int8       { return bval3(s.decT, s.decF, int32(id)) }
 func (s *fstate) setBval(id network.NodeID, v int8) { setBval3(s.decT, s.decF, int32(id), v) }
 
 // setScalarF finalises a node to a defined scalar value.
@@ -1073,13 +1074,13 @@ type fsnap struct {
 	// loop tests it to skip parents whose update would early-return, saving
 	// the call. Maintained by the commit/undo paths in lockstep with the
 	// truth planes and vkf kinds.
-	open bitset
-	ab   []nabs
-	sums []sumAgg
-	vecVals    []vec.Vec
-	tMasked    []bool
-	nUnmasked  int
-	level      int32
+	open      bitset
+	ab        []nabs
+	sums      []sumAgg
+	vecVals   []vec.Vec
+	tMasked   []bool
+	nUnmasked int
+	level     int32
 }
 
 func (sn *fsnap) snapUnmasked() int { return sn.nUnmasked }

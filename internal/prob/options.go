@@ -31,6 +31,11 @@ const (
 	// Hybrid halves the budget at every split and carries residual budget
 	// from the left branch into the right branch.
 	Hybrid
+	// Circuit traces one exact sequential compilation into a reusable
+	// arithmetic circuit (internal/circuit) and answers from a replay
+	// evaluation of it — the compile-once/evaluate-many backend. Marginals
+	// are bit-identical to Exact; Epsilon and Workers are ignored.
+	Circuit
 )
 
 func (s Strategy) String() string {
@@ -43,6 +48,8 @@ func (s Strategy) String() string {
 		return "lazy"
 	case Hybrid:
 		return "hybrid"
+	case Circuit:
+		return "circuit"
 	}
 	return fmt.Sprintf("Strategy(%d)", uint8(s))
 }

@@ -1,9 +1,11 @@
 package prob
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"enframe/internal/circuit"
 	"enframe/internal/event"
 	"enframe/internal/network"
 )
@@ -40,6 +42,20 @@ func Sensitivity(net *network.Net, opts Options, targetName string) ([]VarInflue
 	if ti < 0 {
 		return nil, fmt.Errorf("prob: no target named %q", targetName)
 	}
+	if opts.Strategy == Circuit {
+		// Compile once, then answer every conditional by replaying the
+		// circuit with the variable's marginal pinned — two evaluations per
+		// variable instead of two compilations. A pruned (incomplete) trace
+		// cannot replay at pinned probabilities; fall back to recompiling.
+		c, _, err := CompileCircuit(context.Background(), net, opts)
+		if err != nil {
+			return nil, err
+		}
+		if c.Complete() {
+			return SensitivityCircuit(c, net, targetName)
+		}
+		opts.Strategy = Exact
+	}
 	var out []VarInfluence
 	for x, id := range net.VarNode {
 		if id == network.NoNode {
@@ -62,6 +78,81 @@ func Sensitivity(net *network.Net, opts Options, targetName string) ([]VarInflue
 		}
 		condFalse, err := cond(0)
 		net.Space.SetProb(xv, orig)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, VarInfluence{
+			Var:        xv,
+			Name:       net.Space.Name(xv),
+			CondTrue:   condTrue,
+			CondFalse:  condFalse,
+			Derivative: condTrue - condFalse,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := abs(out[i].Derivative), abs(out[j].Derivative)
+		if di != dj {
+			return di > dj
+		}
+		return out[i].Var < out[j].Var
+	})
+	return out, nil
+}
+
+// SensitivityCircuit is Sensitivity answered from an already-compiled
+// complete circuit: each conditional probability is one replay evaluation
+// with the variable's marginal pinned to 1 or 0, so the whole analysis
+// costs 2·|vars| evaluations and zero recompilations. The net must be the
+// network the circuit was traced from; its space is only read, never
+// mutated, making this safe to run concurrently over a shared artifact.
+func SensitivityCircuit(c *circuit.Circuit, net *network.Net, targetName string) ([]VarInfluence, error) {
+	ti := -1
+	for i, name := range c.Targets() {
+		if name == targetName {
+			ti = i
+			break
+		}
+	}
+	if ti < 0 {
+		return nil, fmt.Errorf("prob: no target named %q", targetName)
+	}
+	if !c.Complete() {
+		return nil, ErrIncompleteCircuit
+	}
+	probs := SpaceProbs(net.Space)
+	lo := make([]float64, len(c.Targets()))
+	hi := make([]float64, len(c.Targets()))
+	cond := func(xv event.VarID, p float64) (float64, error) {
+		orig := probs[xv]
+		probs[xv] = p
+		err := c.EvalInto(probs, lo, hi)
+		probs[xv] = orig
+		if err != nil {
+			return 0, fmt.Errorf("prob: %w", err)
+		}
+		l, h := lo[ti], hi[ti]
+		if l < 0 {
+			l = 0
+		}
+		if h > 1 {
+			h = 1
+		}
+		if h < l {
+			h = l
+		}
+		return TargetBound{Lower: l, Upper: h}.Estimate(), nil
+	}
+	var out []VarInfluence
+	for x, id := range net.VarNode {
+		if id == network.NoNode {
+			continue
+		}
+		xv := event.VarID(x)
+		condTrue, err := cond(xv, 1)
+		if err != nil {
+			return nil, err
+		}
+		condFalse, err := cond(xv, 0)
 		if err != nil {
 			return nil, err
 		}

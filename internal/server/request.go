@@ -133,7 +133,7 @@ func (r RunRequest) withDefaults() RunRequest {
 	if r.Strategy == "" {
 		r.Strategy = "exact"
 	}
-	if r.Strategy != "exact" && r.Epsilon == 0 {
+	if r.Strategy != "exact" && r.Strategy != "circuit" && r.Epsilon == 0 {
 		r.Epsilon = 0.1
 	}
 	if r.Workers == 0 {
@@ -190,8 +190,14 @@ func BuildSpec(req RunRequest) (core.Spec, string, error) {
 	if err != nil {
 		return core.Spec{}, "", err
 	}
-	if strategy != prob.Exact && req.Epsilon <= 0 {
+	if strategy != prob.Exact && strategy != prob.Circuit && req.Epsilon <= 0 {
 		return core.Spec{}, "", badRequest("epsilon must be > 0 with strategy %q", req.Strategy)
+	}
+	if strategy == prob.Circuit && req.Workers > 1 {
+		return core.Spec{}, "", badRequest("strategy circuit compiles sequentially (workers must be 1, got %d)", req.Workers)
+	}
+	if strategy == prob.Circuit && len(req.RemoteWorkers) > 0 {
+		return core.Spec{}, "", badRequest("strategy circuit does not support remote_workers")
 	}
 	if req.Workers < 1 || req.Workers > maxWorkersPerRequest {
 		return core.Spec{}, "", badRequest("workers must be in [1, %d] (got %d)", maxWorkersPerRequest, req.Workers)
@@ -360,8 +366,10 @@ func parseStrategy(s string) (prob.Strategy, error) {
 		return prob.Lazy, nil
 	case "hybrid":
 		return prob.Hybrid, nil
+	case "circuit":
+		return prob.Circuit, nil
 	}
-	return 0, badRequest("unknown strategy %q (want exact, eager, lazy, or hybrid)", s)
+	return 0, badRequest("unknown strategy %q (want exact, eager, lazy, hybrid, or circuit)", s)
 }
 
 func parseOrder(s string) (prob.OrderHeuristic, error) {

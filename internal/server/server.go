@@ -134,10 +134,21 @@ type Server struct {
 	gInflight       *obs.Gauge
 	gInflightPeak   *obs.Gauge
 	hLatency        *obs.Histogram
+
+	// Circuit-backend telemetry: cache disposition of /v1/whatif circuit
+	// lookups, size of the most recent circuit, and per-point replay cost.
+	mCircuitHits   *obs.Counter
+	mCircuitMisses *obs.Counter
+	gCircuitNodes  *obs.Gauge
+	hCircuitEval   *obs.Histogram
 }
 
 // latencyBucketsMs are the /metrics latency histogram upper bounds.
 var latencyBucketsMs = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// evalBucketsMs are the circuit-replay histogram bounds; one replay is
+// orders of magnitude cheaper than a compile, so the buckets start at 10µs.
+var evalBucketsMs = []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 25, 100}
 
 // testHookInflight, when set by tests, runs while the request holds a
 // worker slot, before the pipeline starts.
@@ -170,6 +181,11 @@ func New(cfg Config) *Server {
 		gInflight:       cfg.Registry.Gauge("server.inflight"),
 		gInflightPeak:   cfg.Registry.Gauge("server.inflight.peak"),
 		hLatency:        cfg.Registry.Histogram("server.latency_ms", latencyBucketsMs),
+
+		mCircuitHits:   cfg.Registry.Counter("circuit.cache.hits"),
+		mCircuitMisses: cfg.Registry.Counter("circuit.cache.misses"),
+		gCircuitNodes:  cfg.Registry.Gauge("circuit.nodes"),
+		hCircuitEval:   cfg.Registry.Histogram("circuit.eval_ms", evalBucketsMs),
 	}
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
@@ -183,6 +199,7 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/whatif", s.handleWhatif)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	if s.cfg.Pprof {

@@ -1,0 +1,347 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"enframe/internal/core"
+	"enframe/internal/event"
+	"enframe/internal/prob"
+)
+
+// WhatifRequest is the body of POST /v1/whatif: sweep one input variable's
+// marginal probability over a grid and report every target's bounds at each
+// grid point, answered by replaying the artifact's cached arithmetic
+// circuit — the whole sweep costs at most one compilation (a cold trace)
+// and N evaluations. Program, data, params, and targets identify the
+// artifact exactly as in /v1/run.
+type WhatifRequest struct {
+	Program string    `json:"program,omitempty"`
+	Source  string    `json:"source,omitempty"`
+	Data    DataSpec  `json:"data"`
+	Params  ParamSpec `json:"params"`
+	Targets []string  `json:"targets,omitempty"`
+	// Var names the swept input variable (e.g. "x3"); empty sweeps the
+	// first variable of the compilation order — the most influential one
+	// under the fanout heuristic.
+	Var string `json:"var,omitempty"`
+	// Grid lists explicit probabilities to evaluate, each in [0, 1].
+	// Mutually exclusive with Steps.
+	Grid []float64 `json:"grid,omitempty"`
+	// Steps asks for a uniform grid of that many points spanning [0, 1]
+	// inclusive; default 32, maximum 256.
+	Steps int `json:"steps,omitempty"`
+	// Influence additionally reports each target's conditional
+	// probabilities at the swept variable's extremes and the derivative
+	// ∂Pr[target]/∂p — the VarInfluence decomposition, batched over all
+	// targets from two extra evaluations.
+	Influence bool `json:"influence,omitempty"`
+	// Order selects the variable-order heuristic, as in /v1/run.
+	Order     string `json:"order,omitempty"`
+	TimeoutMs int    `json:"timeout_ms,omitempty"`
+}
+
+// WhatifResponse is the body of a successful POST /v1/whatif.
+type WhatifResponse struct {
+	// Var is the swept variable; BaseProb its marginal in the stored data.
+	Var      string  `json:"var"`
+	BaseProb float64 `json:"base_prob"`
+	// Cache is the artifact cache disposition ("hit"/"miss"), as in /v1/run.
+	Cache   string        `json:"cache"`
+	Circuit CircuitInfo   `json:"circuit"`
+	Points  []WhatifPoint `json:"points"`
+	// Influence is present when the request set "influence": true.
+	Influence []TargetInfluence `json:"influence,omitempty"`
+}
+
+// CircuitInfo describes the circuit that served the sweep.
+type CircuitInfo struct {
+	Nodes  int `json:"nodes"`
+	Events int `json:"events"`
+	// Cached is true when the circuit came from the artifact's memo: the
+	// request paid zero compilations.
+	Cached   bool    `json:"cached"`
+	Complete bool    `json:"complete"`
+	TraceMs  float64 `json:"trace_ms,omitempty"`
+	EvalMs   float64 `json:"eval_ms"`
+}
+
+// WhatifPoint is the per-target bounds at one grid probability.
+type WhatifPoint struct {
+	P       float64     `json:"p"`
+	Targets []RunTarget `json:"targets"`
+}
+
+// TargetInfluence is one target's sensitivity to the swept variable.
+type TargetInfluence struct {
+	Target     string  `json:"target"`
+	CondTrue   float64 `json:"cond_true"`
+	CondFalse  float64 `json:"cond_false"`
+	Derivative float64 `json:"derivative"`
+}
+
+// maxWhatifPoints bounds the sweep grid.
+const maxWhatifPoints = 256
+
+// runRequest strips a what-if request down to the artifact-identifying
+// RunRequest used for cache-key derivation and validation.
+func (wr WhatifRequest) runRequest() RunRequest {
+	return RunRequest{
+		Program: wr.Program,
+		Source:  wr.Source,
+		Data:    wr.Data,
+		Params:  wr.Params,
+		Targets: wr.Targets,
+		Order:   wr.Order,
+	}.withDefaults()
+}
+
+// grid resolves the evaluation grid after validation.
+func (wr WhatifRequest) grid() ([]float64, error) {
+	if len(wr.Grid) > 0 && wr.Steps > 0 {
+		return nil, badRequest("grid and steps are mutually exclusive")
+	}
+	if len(wr.Grid) > 0 {
+		if len(wr.Grid) > maxWhatifPoints {
+			return nil, badRequest("grid must list at most %d points (got %d)", maxWhatifPoints, len(wr.Grid))
+		}
+		for _, p := range wr.Grid {
+			if !(p >= 0 && p <= 1) {
+				return nil, badRequest("grid probabilities must be in [0, 1] (got %g)", p)
+			}
+		}
+		return wr.Grid, nil
+	}
+	steps := wr.Steps
+	if steps == 0 {
+		steps = 32
+	}
+	if steps < 2 || steps > maxWhatifPoints {
+		return nil, badRequest("steps must be in [2, %d] (got %d)", maxWhatifPoints, steps)
+	}
+	g := make([]float64, steps)
+	for i := range g {
+		g[i] = float64(i) / float64(steps-1)
+	}
+	return g, nil
+}
+
+// handleWhatif is POST /v1/whatif: admission → decode → cached artifact →
+// cached circuit → grid replay. Status contract matches /v1/run, plus 422
+// when the trace was pruned (an incomplete circuit cannot answer at swept
+// probabilities).
+func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
+	s.mRequests.Inc()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.draining.Load() {
+		s.mRejDraining.Inc()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	select {
+	case s.queueSlots <- struct{}{}:
+		defer func() { <-s.queueSlots }()
+	default:
+		s.mRejQueue.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue full (%d executing + %d waiting)",
+			s.cfg.MaxInflight, s.cfg.QueueDepth)
+		return
+	}
+
+	var req WhatifRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.mBadRequest.Inc()
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	grid, err := req.grid()
+	if err != nil {
+		s.mBadRequest.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.TimeoutMs < 0 {
+		s.mBadRequest.Inc()
+		writeError(w, http.StatusBadRequest, "timeout_ms must be ≥ 0")
+		return
+	}
+	rreq := req.runRequest()
+	spec, key, err := BuildSpec(rreq)
+	if err != nil {
+		s.mBadRequest.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	info := infoFrom(r.Context())
+	info.artifact = key
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	select {
+	case s.workSlots <- struct{}{}:
+		defer func() { <-s.workSlots }()
+	case <-ctx.Done():
+		s.finishCtxErr(w, r, ctx)
+		return
+	}
+	cur := s.inflight.Add(1)
+	s.gInflight.Set(float64(cur))
+	s.gInflightPeak.SetMax(float64(cur))
+	defer func() { s.gInflight.Set(float64(s.inflight.Add(-1))) }()
+	if testHookInflight != nil {
+		testHookInflight()
+	}
+
+	t0 := time.Now()
+	resp, cache, err := s.executeWhatif(ctx, spec, key, rreq, req, grid)
+	info.cache = cache.String()
+	if err != nil {
+		if ctx.Err() != nil {
+			s.finishCtxErr(w, r, ctx)
+			return
+		}
+		if _, ok := err.(*badRequestError); ok {
+			s.mBadRequest.Inc()
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.mErrors.Inc()
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.hLatency.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+	s.mOK.Inc()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// executeWhatif resolves the artifact and its circuit through their caches
+// and replays the grid.
+func (s *Server) executeWhatif(ctx context.Context, spec core.Spec, key string, rreq RunRequest, req WhatifRequest, grid []float64) (*WhatifResponse, cacheOutcome, error) {
+	prepare := func() (*core.Artifact, error) { return core.PrepareContext(ctx, spec) }
+	art, cache, err := s.cache.getOrPrepare(key, prepare)
+	if err != nil && isCtxError(err) && ctx.Err() == nil {
+		art, cache, err = s.cache.getOrPrepare(key, prepare)
+	}
+	if err != nil {
+		return nil, cache, err
+	}
+	heuristic, _ := parseOrder(rreq.Order) // validated by BuildSpec
+
+	tTrace := time.Now()
+	c, _, circuitCached, err := art.Circuit(ctx, prob.Options{Heuristic: heuristic})
+	traceDur := time.Since(tTrace)
+	if err != nil {
+		return nil, cache, err
+	}
+	if circuitCached {
+		s.mCircuitHits.Inc()
+	} else {
+		s.mCircuitMisses.Inc()
+	}
+	s.gCircuitNodes.Set(float64(c.Nodes()))
+	if !c.Complete() {
+		return nil, cache, fmt.Errorf("circuit trace was pruned (timed out or converged early); what-if replay needs a complete circuit")
+	}
+
+	// Resolve the swept variable: by name, or default to the head of the
+	// compilation order (the most influential variable under the heuristic).
+	sp := art.Net.Space
+	xv := event.VarID(-1)
+	if req.Var == "" {
+		order := art.Order(heuristic)
+		if len(order) == 0 {
+			return nil, cache, badRequest("network has no variables to sweep")
+		}
+		xv = order[0]
+	} else {
+		for i := 0; i < sp.Len(); i++ {
+			if sp.Name(event.VarID(i)) == req.Var {
+				xv = event.VarID(i)
+				break
+			}
+		}
+		if xv < 0 {
+			return nil, cache, badRequest("no input variable named %q", req.Var)
+		}
+	}
+
+	probs := prob.SpaceProbs(sp)
+	base := probs[xv]
+	resp := &WhatifResponse{
+		Var:      sp.Name(xv),
+		BaseProb: base,
+		Cache:    cache.String(),
+		Circuit: CircuitInfo{
+			Nodes:    c.Nodes(),
+			Events:   c.Events(),
+			Cached:   circuitCached,
+			Complete: c.Complete(),
+		},
+		Points: make([]WhatifPoint, 0, len(grid)),
+	}
+	if !circuitCached {
+		resp.Circuit.TraceMs = ms(traceDur)
+	}
+
+	evalAt := func(p float64) (*prob.Result, error) {
+		probs[xv] = p
+		tEval := time.Now()
+		res, err := prob.EvalCircuit(c, probs)
+		d := ms(time.Since(tEval))
+		s.hCircuitEval.Observe(d)
+		resp.Circuit.EvalMs += d
+		return res, err
+	}
+	for _, p := range grid {
+		res, err := evalAt(p)
+		if err != nil {
+			return nil, cache, err
+		}
+		pt := WhatifPoint{P: p, Targets: make([]RunTarget, 0, len(res.Targets))}
+		for _, tb := range res.Targets {
+			pt.Targets = append(pt.Targets, RunTarget{
+				Name: tb.Name, Lower: tb.Lower, Upper: tb.Upper, Estimate: tb.Estimate(),
+			})
+		}
+		resp.Points = append(resp.Points, pt)
+	}
+	if req.Influence {
+		condTrue, err := evalAt(1)
+		if err != nil {
+			return nil, cache, err
+		}
+		condFalse, err := evalAt(0)
+		if err != nil {
+			return nil, cache, err
+		}
+		for i, tt := range condTrue.Targets {
+			tf := condFalse.Targets[i]
+			resp.Influence = append(resp.Influence, TargetInfluence{
+				Target:     tt.Name,
+				CondTrue:   tt.Estimate(),
+				CondFalse:  tf.Estimate(),
+				Derivative: tt.Estimate() - tf.Estimate(),
+			})
+		}
+	}
+	probs[xv] = base
+	return resp, cache, nil
+}

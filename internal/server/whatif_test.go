@@ -1,0 +1,225 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+)
+
+// postWhatif POSTs a what-if request and decodes the response.
+func postWhatif(t *testing.T, client *http.Client, addr string, req WhatifRequest) (int, WhatifResponse, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post("http://"+addr+"/v1/whatif", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/whatif: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	var out WhatifResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+			t.Fatalf("bad response JSON: %v\n%s", err, buf.Bytes())
+		}
+	}
+	return resp.StatusCode, out, buf.Bytes()
+}
+
+func smallWhatif(seed int64, n int) WhatifRequest {
+	return WhatifRequest{
+		Program: "kmedoids",
+		Data:    DataSpec{N: n, Vars: 5, L: 4, Seed: seed},
+		Params:  ParamSpec{K: 2, Iter: 2},
+	}
+}
+
+// TestWhatifSweepMatchesRun cross-checks the circuit replay against the
+// ordinary compile path: every grid point of a what-if sweep must agree
+// with a fresh /v1/run whose underlying data carries the swept probability.
+// The grid points 0, base, and 1 are checked against direct evaluation at
+// the base probability for the base point (which is exact replay of the
+// trace and hence byte-comparable) and within tolerance elsewhere.
+func TestWhatifSweepMatchesRun(t *testing.T) {
+	s := startTestServer(t, Config{})
+	client := &http.Client{}
+
+	// A direct run at the stored probabilities is the reference.
+	status, run, _ := postRun(t, client, s.Addr(), smallRequest(1, 8))
+	if status != http.StatusOK {
+		t.Fatalf("run: status %d", status)
+	}
+
+	wreq := smallWhatif(1, 8)
+	wreq.Steps = 5
+	wreq.Influence = true
+	status, wi, raw := postWhatif(t, client, s.Addr(), wreq)
+	if status != http.StatusOK {
+		t.Fatalf("whatif: status %d\n%s", status, raw)
+	}
+	if len(wi.Points) != 5 {
+		t.Fatalf("got %d points, want 5", len(wi.Points))
+	}
+	if wi.Var == "" {
+		t.Fatal("no swept variable reported")
+	}
+	if !wi.Circuit.Complete {
+		t.Fatal("circuit reported incomplete")
+	}
+	if wi.Circuit.Nodes <= 0 || wi.Circuit.Events <= 0 {
+		t.Fatalf("degenerate circuit info: %+v", wi.Circuit)
+	}
+
+	// Sweeping the variable through its stored probability must reproduce
+	// the direct run's marginals: request a one-point grid at base_prob.
+	wreq2 := smallWhatif(1, 8)
+	wreq2.Grid = []float64{wi.BaseProb}
+	status, atBase, _ := postWhatif(t, client, s.Addr(), wreq2)
+	if status != http.StatusOK {
+		t.Fatalf("whatif at base: status %d", status)
+	}
+	if len(atBase.Points) != 1 {
+		t.Fatalf("got %d points, want 1", len(atBase.Points))
+	}
+	if len(atBase.Points[0].Targets) != len(run.Targets) {
+		t.Fatalf("target count: %d vs run's %d", len(atBase.Points[0].Targets), len(run.Targets))
+	}
+	for i, got := range atBase.Points[0].Targets {
+		want := run.Targets[i]
+		if got.Name != want.Name ||
+			math.Float64bits(got.Lower) != math.Float64bits(want.Lower) ||
+			math.Float64bits(got.Upper) != math.Float64bits(want.Upper) {
+			t.Errorf("target %s at base prob: whatif [%.17g, %.17g] vs run [%.17g, %.17g]",
+				want.Name, got.Lower, got.Upper, want.Lower, want.Upper)
+		}
+	}
+
+	// Influence sanity: derivative = condTrue − condFalse, probabilities
+	// inside [0, 1].
+	if len(wi.Influence) != len(run.Targets) {
+		t.Fatalf("influence count: %d vs %d targets", len(wi.Influence), len(run.Targets))
+	}
+	for _, inf := range wi.Influence {
+		if inf.CondTrue < 0 || inf.CondTrue > 1 || inf.CondFalse < 0 || inf.CondFalse > 1 {
+			t.Errorf("%s: conditionals [%g, %g] outside [0, 1]", inf.Target, inf.CondTrue, inf.CondFalse)
+		}
+		if math.Abs(inf.Derivative-(inf.CondTrue-inf.CondFalse)) > 1e-15 {
+			t.Errorf("%s: derivative %g ≠ condTrue−condFalse %g",
+				inf.Target, inf.Derivative, inf.CondTrue-inf.CondFalse)
+		}
+	}
+}
+
+// TestWhatifCircuitCacheWarm pins the headline serving property: a warm
+// sweep performs zero compilations — the second request's circuit comes
+// from the artifact memo (circuit.cache.hits), and the whole 32-point
+// sweep reports cached=true with no trace cost.
+func TestWhatifCircuitCacheWarm(t *testing.T) {
+	s := startTestServer(t, Config{})
+	client := &http.Client{}
+
+	status, cold, _ := postWhatif(t, client, s.Addr(), smallWhatif(2, 8))
+	if status != http.StatusOK {
+		t.Fatalf("cold whatif: status %d", status)
+	}
+	if cold.Circuit.Cached {
+		t.Fatal("cold request reported a cached circuit")
+	}
+	if cold.Cache != "miss" {
+		t.Fatalf("cold request: artifact cache %q, want miss", cold.Cache)
+	}
+
+	status, warm, _ := postWhatif(t, client, s.Addr(), smallWhatif(2, 8))
+	if status != http.StatusOK {
+		t.Fatalf("warm whatif: status %d", status)
+	}
+	if !warm.Circuit.Cached {
+		t.Fatal("warm request recompiled the circuit")
+	}
+	if warm.Cache != "hit" {
+		t.Fatalf("warm request: artifact cache %q, want hit", warm.Cache)
+	}
+	if warm.Circuit.TraceMs != 0 {
+		t.Errorf("warm request reported trace cost %g ms", warm.Circuit.TraceMs)
+	}
+	if hits, misses := counterValue(s, "circuit.cache.hits"), counterValue(s, "circuit.cache.misses"); hits != 1 || misses != 1 {
+		t.Errorf("circuit cache counters: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	// Both sweeps replay the identical circuit at identical grids.
+	if len(warm.Points) != len(cold.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(warm.Points), len(cold.Points))
+	}
+	for i, wp := range warm.Points {
+		cp := cold.Points[i]
+		for j, wt := range wp.Targets {
+			ct := cp.Targets[j]
+			if math.Float64bits(wt.Lower) != math.Float64bits(ct.Lower) ||
+				math.Float64bits(wt.Upper) != math.Float64bits(ct.Upper) {
+				t.Fatalf("point %d target %s: warm replay diverged from cold", i, wt.Name)
+			}
+		}
+	}
+}
+
+// TestWhatifValidation exercises the 400 contract.
+func TestWhatifValidation(t *testing.T) {
+	s := startTestServer(t, Config{})
+	client := &http.Client{}
+
+	for name, req := range map[string]WhatifRequest{
+		"grid and steps": func() WhatifRequest {
+			r := smallWhatif(1, 8)
+			r.Grid = []float64{0.5}
+			r.Steps = 8
+			return r
+		}(),
+		"grid out of range": func() WhatifRequest {
+			r := smallWhatif(1, 8)
+			r.Grid = []float64{1.5}
+			return r
+		}(),
+		"too few steps": func() WhatifRequest {
+			r := smallWhatif(1, 8)
+			r.Steps = 1
+			return r
+		}(),
+		"too many steps": func() WhatifRequest {
+			r := smallWhatif(1, 8)
+			r.Steps = maxWhatifPoints + 1
+			return r
+		}(),
+		"unknown variable": func() WhatifRequest {
+			r := smallWhatif(1, 8)
+			r.Var = "no-such-var"
+			r.Steps = 2
+			return r
+		}(),
+		"negative timeout": func() WhatifRequest {
+			r := smallWhatif(1, 8)
+			r.TimeoutMs = -1
+			return r
+		}(),
+	} {
+		status, _, raw := postWhatif(t, client, s.Addr(), req)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400\n%s", name, status, raw)
+		}
+	}
+
+	// Method contract.
+	resp, err := client.Get("http://" + s.Addr() + "/v1/whatif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d, want 405", resp.StatusCode)
+	}
+}
