@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test test-short test-race vet fuzz-smoke fuzz bench bench-serve bench-compare alloc-guard obs-race smoke serve-smoke worker-smoke trace-smoke bench-distributed circuit-equiv bench-whatif ci
+.PHONY: build test test-short test-race vet fuzz-smoke fuzz bench bench-serve bench-compare alloc-guard obs-race smoke serve-smoke worker-smoke trace-smoke bench-distributed circuit-equiv bench-whatif shard-smoke bench-shard ci
 
 build:
 	$(GO) build ./...
@@ -111,4 +111,22 @@ circuit-equiv:
 bench-whatif: build
 	$(GO) run ./cmd/loadgen -whatif -out BENCH_whatif.json
 
-ci: vet build test test-race obs-race alloc-guard smoke serve-smoke worker-smoke trace-smoke bench-distributed circuit-equiv bench-whatif
+# shard-smoke boots a real sharded fleet (2 enframe serve shards + an
+# enframe route router, separate processes), requires routed marginals to be
+# byte-identical to a single-node reference, joins a third shard and verifies
+# the router warmed the keys it now owns (direct shard-side cache probes),
+# then SIGKILLs a primary and requires replica failover (SERVING.md,
+# "Sharded fleet").
+shard-smoke: build
+	$(GO) run ./cmd/loadgen -shard-smoke
+
+# bench-shard measures shard-count scaling and merges the shard_scaling
+# section into BENCH_serve.json: real warm per-key service times partitioned
+# by the real consistent-hash ring over 1/2/4 virtual shards (the single-CPU
+# CI container cannot show real multi-process scaling — real fleets are
+# measured as labeled context). Fails below ×1.5 virtual warm throughput at
+# 4 shards.
+bench-shard: build
+	$(GO) run ./cmd/loadgen -shard-sweep -out BENCH_serve.json
+
+ci: vet build test test-race obs-race alloc-guard smoke serve-smoke worker-smoke trace-smoke bench-distributed circuit-equiv bench-whatif shard-smoke

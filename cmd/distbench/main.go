@@ -32,7 +32,6 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -42,9 +41,9 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
-	"syscall"
 	"time"
 
+	"enframe/internal/benchutil"
 	"enframe/internal/core"
 	"enframe/internal/dist"
 	"enframe/internal/prob"
@@ -97,57 +96,18 @@ func fatal(err error) {
 // ensureEnframe returns a runnable enframe binary, building one when the
 // flag doesn't name it.
 func ensureEnframe() (string, func(), error) {
-	if *enframeFlag != "" {
-		return *enframeFlag, func() {}, nil
-	}
-	dir, err := os.MkdirTemp("", "distbench")
-	if err != nil {
-		return "", nil, err
-	}
-	bin := filepath.Join(dir, "enframe")
-	cmd := exec.Command("go", "build", "-o", bin, "./cmd/enframe")
-	cmd.Stderr = os.Stderr
-	if err := cmd.Run(); err != nil {
-		os.RemoveAll(dir)
-		return "", nil, fmt.Errorf("build enframe: %w", err)
-	}
-	return bin, func() { os.RemoveAll(dir) }, nil
+	return benchutil.BuildEnframe(*enframeFlag)
 }
 
-// spawnWorker starts one `enframe worker` child on an ephemeral port and
-// scrapes the bound address from its LISTEN line.
+// spawnWorker starts one `enframe worker` child on an ephemeral port via the
+// shared LISTEN spawn protocol (benchutil).
 func spawnWorker(bin string, extra ...string) (addr string, stop func(), err error) {
 	args := append([]string{"worker", "-listen", "127.0.0.1:0", "-quiet"}, extra...)
-	cmd := exec.Command(bin, args...)
-	cmd.Stderr = os.Stderr
-	out, err := cmd.StdoutPipe()
+	p, err := benchutil.SpawnListen(bin, args...)
 	if err != nil {
 		return "", nil, err
 	}
-	if err := cmd.Start(); err != nil {
-		return "", nil, err
-	}
-	stop = func() {
-		_ = cmd.Process.Signal(syscall.SIGTERM)
-		_ = cmd.Wait()
-	}
-	sc := bufio.NewScanner(out)
-	deadline := time.AfterFunc(10*time.Second, func() { _ = cmd.Process.Kill() })
-	for sc.Scan() {
-		var a string
-		if _, err := fmt.Sscanf(sc.Text(), "LISTEN %s", &a); err == nil {
-			deadline.Stop()
-			// Keep draining stdout so the child never blocks on a full pipe.
-			go func() {
-				for sc.Scan() {
-				}
-			}()
-			return a, stop, nil
-		}
-	}
-	deadline.Stop()
-	stop()
-	return "", nil, fmt.Errorf("worker did not report LISTEN line")
+	return p.Addr, p.Stop, nil
 }
 
 // workload is the benchmark/smoke request: the paper's kmedoids program over
@@ -507,4 +467,4 @@ func runBench(bin, out string) error {
 	return nil
 }
 
-func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+func ms(d time.Duration) float64 { return benchutil.Ms(d) }

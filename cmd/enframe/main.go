@@ -99,6 +99,7 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: enframe [run] [flags]   compile a program over probabilistic data (default)
        enframe fuzz [flags]    replay the differential verification harness
        enframe serve [flags]   start the HTTP serving layer (SERVING.md)
+       enframe route [flags]   start the shard router for a serving fleet (SERVING.md)
        enframe worker [flags]  start a distributed compilation worker (DESIGN.md)
 
 Run 'enframe <subcommand> -h' for subcommand flags.`)
@@ -122,6 +123,8 @@ func main() {
 		err = runFuzz(args)
 	case "serve":
 		err = runServe(args)
+	case "route":
+		err = runRoute(args)
 	case "worker":
 		err = runWorker(args)
 	case "help":

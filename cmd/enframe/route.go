@@ -1,0 +1,95 @@
+package main
+
+// The route subcommand is the thin router in front of a sharded serving
+// fleet (internal/shard, SERVING.md "Sharded fleet"): it hashes each
+// request's artifact key onto a consistent-hash ring over the shard
+// processes and proxies the request to the owner, with replica failover and
+// bounded-load spill. Membership changes via POST /admin/join and
+// /admin/leave warm moved keys onto their new owners.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"enframe/internal/shard"
+)
+
+func runRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8090", "router listen address (use :0 for an ephemeral port)")
+	peers := fs.String("shard-peers", "", "comma-separated host:port addresses of enframe serve shards (required)")
+	replicas := fs.Int("replicas", shard.DefaultReplicas, "replication factor: owners per key (primary + failover)")
+	vnodes := fs.Int("vnodes", shard.DefaultVirtualNodes, "virtual nodes per shard on the ring")
+	loadFactor := fs.Float64("load-factor", shard.DefaultLoadFactor, "bounded-load cap multiplier (≤1 disables)")
+	maxBody := fs.Int64("max-body", 1<<20, "request body size limit in bytes")
+	grace := fs.Duration("grace", 30*time.Second, "drain grace period on SIGTERM/SIGINT")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: enframe route -shard-peers HOST:PORT,HOST:PORT [flags]   (SERVING.md, \"Sharded fleet\")")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("route: unexpected argument %q", fs.Arg(0))
+	}
+	var shards []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			shards = append(shards, p)
+		}
+	}
+	if len(shards) == 0 {
+		return fmt.Errorf("route: -shard-peers must list at least one shard address")
+	}
+
+	rt := shard.NewRouter(shard.RouterConfig{
+		Shards:       shards,
+		Replicas:     *replicas,
+		VirtualNodes: *vnodes,
+		LoadFactor:   *loadFactor,
+		MaxBodyBytes: *maxBody,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("route: listen %s: %w", *addr, err)
+	}
+	srv := &http.Server{Handler: rt.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			serveErr <- err
+		}
+		close(serveErr)
+	}()
+	fmt.Printf("LISTEN %s\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "enframe: routing on http://%s over %d shards %v (replicas=%d)\n",
+		ln.Addr(), len(shards), shards, *replicas)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "enframe: %v received, draining router (grace %v)\n", got, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("route: drain: %w", err)
+		}
+		if err, ok := <-serveErr; ok && err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "enframe: router drained cleanly")
+		return nil
+	case err := <-serveErr:
+		return err
+	}
+}

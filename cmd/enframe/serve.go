@@ -24,6 +24,7 @@ func runServe(args []string) error {
 	defTimeout := fs.Duration("timeout", 30*time.Second, "default per-request deadline")
 	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "upper clamp on requested deadlines")
 	maxBody := fs.Int64("max-body", 1<<20, "request body size limit in bytes")
+	tenantQuota := fs.Int("tenant-quota", 0, "max admission slots per named tenant (0 = half of inflight+queue)")
 	grace := fs.Duration("grace", 30*time.Second, "drain grace period on SIGTERM/SIGINT")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof on the serving mux")
 	accessLog := fs.Bool("access-log", true, "write one JSON access-log line per request to stderr")
@@ -46,6 +47,7 @@ func runServe(args []string) error {
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
 		MaxBodyBytes:   *maxBody,
+		TenantQuota:    *tenantQuota,
 		Pprof:          *pprofOn,
 	}
 	if *accessLog {
@@ -55,6 +57,10 @@ func runServe(args []string) error {
 	if err := srv.Start(); err != nil {
 		return err
 	}
+	// The LISTEN line is the spawn protocol (same as `enframe worker`):
+	// harnesses that start shard fleets on ephemeral ports scrape stdout for
+	// the bound address.
+	fmt.Printf("LISTEN %s\n", srv.Addr())
 	fmt.Fprintf(os.Stderr, "enframe: serving on http://%s (POST /v1/run, GET /healthz, GET /metrics)\n", srv.Addr())
 
 	sig := make(chan os.Signal, 1)

@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -38,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"enframe/internal/benchutil"
 	"enframe/internal/server"
 )
 
@@ -54,6 +56,14 @@ var (
 		"run the what-if circuit benchmark (warm sweep replay vs recompilation) instead of a load run")
 	coldFlag = flag.Bool("no-cache-key", false,
 		"jitter every request's data seed so no cache key repeats (measures the cold path)")
+	tenantsFlag = flag.Int("tenants", 0,
+		"multi-tenant mode: spread the keyspace over this many named tenants (0 = anonymous single-tenant)")
+	zipfFlag = flag.Float64("zipf", 1.1,
+		"with -tenants: Zipf skew s over the tenants×keys keyspace (higher = hotter head)")
+	shardSweepFl = flag.Bool("shard-sweep", false,
+		"run the shard-count scaling sweep (1/2/4 real shard processes + virtual partitioning model) and merge the shard_scaling section into -out")
+	shardSmokeFl = flag.Bool("shard-smoke", false,
+		"run the sharded-fleet CI smoke: real shard + router processes, byte-identity vs single-node, join warming, kill-one-shard failover")
 )
 
 // coldSeedBase offsets jittered seeds far above the warm key range so a cold
@@ -115,6 +125,7 @@ type sample struct {
 	latency time.Duration
 	status  int
 	cache   string
+	tenant  string
 }
 
 type snapshot struct {
@@ -131,79 +142,82 @@ type snapshot struct {
 	// compiled-artifact cache, so throughput here is bounded by the front
 	// end (fused translate+ground) plus compilation, not cache lookups.
 	Cold map[string]float64 `json:"cold,omitempty"`
+	// Tenants summarizes the -tenants mode: distinct tenants, the Zipf skew,
+	// per-tenant request counts, and how many requests the server's
+	// fairness quota shed.
+	Tenants map[string]any `json:"tenants,omitempty"`
 	// ServerLatency is the server's own server.latency_ms histogram at the
 	// end of the run: cumulative buckets, sum, and count, measured inside
 	// the handler rather than at the client.
-	ServerLatency *serverHistogram `json:"server_latency_ms,omitempty"`
+	ServerLatency *benchutil.Histogram `json:"server_latency_ms,omitempty"`
 }
 
-// serverHistogram mirrors the /metrics?format=json histogram shape.
-type serverHistogram struct {
-	Count   float64      `json:"count"`
-	Sum     float64      `json:"sum"`
-	Buckets []histBucket `json:"buckets"`
+// zipfPicker samples indices from a Zipf distribution (weight of index i is
+// 1/(i+1)^s) over a fixed keyspace — the skewed multi-tenant workload: a
+// hot head of tenants and keys, a long cold tail.
+type zipfPicker struct {
+	cum []float64 // cumulative weights, normalised to cum[len-1] == 1
 }
 
-type histBucket struct {
-	Le    any   `json:"le"` // float64 upper bound, or the string "+Inf"
-	Count int64 `json:"count"`
+func newZipfPicker(n int, s float64) *zipfPicker {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &zipfPicker{cum: cum}
 }
 
-// fetchServerLatency pulls the server-side latency histogram off the metrics
-// endpoint; any failure degrades to "absent" rather than failing the run.
-func fetchServerLatency(addr string) *serverHistogram {
-	resp, err := http.Get("http://" + addr + "/metrics?format=json")
-	if err != nil {
-		return nil
-	}
-	defer resp.Body.Close()
-	var vals []struct {
-		Name    string       `json:"name"`
-		Kind    string       `json:"kind"`
-		Value   float64      `json:"value"`
-		Sum     float64      `json:"sum"`
-		Buckets []histBucket `json:"buckets"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&vals); err != nil {
-		return nil
-	}
-	for _, v := range vals {
-		if v.Name == "server.latency_ms" && v.Kind == "histogram" {
-			return &serverHistogram{Count: v.Value, Sum: v.Sum, Buckets: v.Buckets}
+func (z *zipfPicker) pick(r *rand.Rand) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return nil
-}
-
-func percentile(sorted []time.Duration, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	return float64(sorted[idx]) / float64(time.Millisecond)
+	return lo
 }
 
 // load runs one measured phase. With jitter, every request draws a unique
 // seed (guaranteed cache miss — the cold path); otherwise clients cycle the
-// -keys warm keys and the cache is pre-warmed first.
+// warm keyspace and the cache is pre-warmed first. With -tenants, the
+// keyspace is tenants×keys wide, requests carry tenant identities, and
+// (tenant, key) indices are drawn tenant-major from a Zipf distribution —
+// tenant t00 with the hot keys at the head, a long cold tail behind.
 func load(addr string, dur time.Duration, jitter bool) snapshot {
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *cFlag}}
 
+	keyspace := *keysFlag
+	var zipf *zipfPicker
+	if *tenantsFlag > 0 {
+		keyspace = *tenantsFlag * *keysFlag
+		zipf = newZipfPicker(keyspace, *zipfFlag)
+	}
 	if !jitter {
 		// Warm the cache with one request per key so the measured window
 		// sees the steady state, matching a long-lived server's behaviour.
-		for key := 0; key < *keysFlag; key++ {
+		for key := 0; key < keyspace; key++ {
 			post(client, addr, request(int64(key+1)))
 		}
 	}
-	seed := func(c, i int) int64 {
+	// pick maps one request slot onto (seed, tenant).
+	pick := func(c, i int, rng *rand.Rand) (int64, string) {
 		if jitter {
-			return coldSeedBase + coldSeq.Add(1)
+			return coldSeedBase + coldSeq.Add(1), ""
 		}
-		return int64((c+i)%*keysFlag + 1)
+		if zipf != nil {
+			idx := zipf.pick(rng)
+			return int64(idx + 1), fmt.Sprintf("t%02d", idx / *keysFlag)
+		}
+		return int64((c+i)%keyspace + 1), ""
 	}
 
 	var (
@@ -217,10 +231,14 @@ func load(addr string, dur time.Duration, jitter bool) snapshot {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
 			for i := 0; time.Now().Before(deadline); i++ {
-				lat, status, cache := post(client, addr, request(seed(c, i)))
+				seed, tenant := pick(c, i, rng)
+				req := request(seed)
+				req.Tenant = tenant
+				lat, status, cache := post(client, addr, req)
 				mu.Lock()
-				samples = append(samples, sample{lat, status, cache})
+				samples = append(samples, sample{lat, status, cache, tenant})
 				mu.Unlock()
 			}
 		}(c)
@@ -237,10 +255,14 @@ func load(addr string, dur time.Duration, jitter bool) snapshot {
 		Statuses:  map[string]int{},
 		LatencyMs: map[string]float64{},
 	}
+	perTenant := map[string]int{}
 	var lats []time.Duration
 	for _, s := range samples {
 		snap.Requests++
 		snap.Statuses[fmt.Sprintf("%d", s.status)]++
+		if s.tenant != "" {
+			perTenant[s.tenant]++
+		}
 		switch {
 		case s.status == http.StatusOK:
 			lats = append(lats, s.latency)
@@ -255,12 +277,23 @@ func load(addr string, dur time.Duration, jitter bool) snapshot {
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	snap.Rps = float64(len(lats)) / elapsed.Seconds()
-	snap.LatencyMs["p50"] = percentile(lats, 50)
-	snap.LatencyMs["p95"] = percentile(lats, 95)
-	snap.LatencyMs["p99"] = percentile(lats, 99)
-	snap.LatencyMs["p999"] = percentile(lats, 99.9)
+	snap.LatencyMs["p50"] = benchutil.Percentile(lats, 50)
+	snap.LatencyMs["p95"] = benchutil.Percentile(lats, 95)
+	snap.LatencyMs["p99"] = benchutil.Percentile(lats, 99)
+	snap.LatencyMs["p999"] = benchutil.Percentile(lats, 99.9)
 	if ok := snap.CacheHits + snap.CacheMiss; ok > 0 {
 		snap.HitRate = float64(snap.CacheHits) / float64(ok)
+	}
+	if zipf != nil {
+		snap.Config["tenants"] = *tenantsFlag
+		snap.Config["zipf_s"] = *zipfFlag
+		snap.Tenants = map[string]any{
+			"distinct":            len(perTenant),
+			"requests_by_tenant":  perTenant,
+			"throttled_429":       snap.Statuses["429"],
+			"server_throttled":    benchutil.FetchCounter(addr, "server.tenant.throttled"),
+			"server_batch_joined": benchutil.FetchCounter(addr, "server.batch.joined"),
+		}
 	}
 	return snap
 }
@@ -343,28 +376,6 @@ func postRunCompileMs(client *http.Client, addr string) (float64, string, error)
 	return out.TimingsMs.Compile, out.Cache, nil
 }
 
-// fetchCounter reads one counter off /metrics?format=json (-1 on failure).
-func fetchCounter(addr, name string) float64 {
-	resp, err := http.Get("http://" + addr + "/metrics?format=json")
-	if err != nil {
-		return -1
-	}
-	defer resp.Body.Close()
-	var vals []struct {
-		Name  string  `json:"name"`
-		Value float64 `json:"value"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&vals); err != nil {
-		return -1
-	}
-	for _, v := range vals {
-		if v.Name == name {
-			return v.Value
-		}
-	}
-	return -1
-}
-
 // benchWhatif measures the circuit serving mode: one cold sweep (pays the
 // trace), warmRuns warm sweeps (replay only — verified against the server's
 // circuit.cache.hits counter), and a recompilation baseline of warm
@@ -398,7 +409,7 @@ func benchWhatif(addr string) error {
 		warmEvalMs = append(warmEvalMs, warm.Circuit.EvalMs)
 		warmLatMs = append(warmLatMs, float64(lat)/float64(time.Millisecond))
 	}
-	if hits := fetchCounter(addr, "circuit.cache.hits"); hits != warmRuns {
+	if hits := benchutil.FetchCounter(addr, "circuit.cache.hits"); hits != warmRuns {
 		return fmt.Errorf("circuit.cache.hits = %g after %d warm sweeps, want %d (warm sweeps must not recompile)",
 			hits, warmRuns, warmRuns)
 	}
@@ -418,13 +429,8 @@ func benchWhatif(addr string) error {
 		compileMs = append(compileMs, ms)
 	}
 
-	median := func(xs []float64) float64 {
-		s := append([]float64(nil), xs...)
-		sort.Float64s(s)
-		return s[len(s)/2]
-	}
-	recompile := median(compileMs)
-	evalSweep := median(warmEvalMs)
+	recompile := benchutil.Median(compileMs)
+	evalSweep := benchutil.Median(warmEvalMs)
 	evalPoint := evalSweep / whatifSteps
 	speedup := recompile / evalPoint
 
@@ -439,7 +445,7 @@ func benchWhatif(addr string) error {
 			"trace_ms": cold.Circuit.TraceMs,
 		},
 		"cold_sweep_ms":        float64(coldLat) / float64(time.Millisecond),
-		"warm_sweep_ms_p50":    median(warmLatMs),
+		"warm_sweep_ms_p50":    benchutil.Median(warmLatMs),
 		"eval_ms_per_sweep":    evalSweep,
 		"eval_ms_per_point":    evalPoint,
 		"recompile_ms":         recompile,
@@ -449,17 +455,7 @@ func benchWhatif(addr string) error {
 		"circuit_cache_hits":   warmRuns,
 		"circuit_cache_misses": 1,
 	}
-	f, err := os.Create(*outFlag)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := benchutil.WriteJSON(*outFlag, out); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s: trace %.1fms, eval %.3fms/point (%.2fms/sweep of %d), recompile %.1fms, speedup %.0f×\n",
@@ -497,6 +493,22 @@ func smoke(addr string) error {
 func main() {
 	flag.Parse()
 
+	// The shard modes spawn their own process fleets; no in-process server.
+	if *shardSweepFl {
+		if err := runShardSweep(); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: shard-sweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shardSmokeFl {
+		if err := runShardSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: shard-smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	addr, stop, err := ensureServer()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -529,21 +541,10 @@ func main() {
 		cold := load(addr, *durFlag/2, true)
 		snap.Cold = coldSummary(cold)
 	}
-	snap.ServerLatency = fetchServerLatency(addr)
+	snap.ServerLatency = benchutil.FetchHistogram(addr, "server.latency_ms")
 	stop()
 
-	f, err := os.Create(*outFlag)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "loadgen:", err)
-		os.Exit(1)
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(snap); err != nil {
-		fmt.Fprintln(os.Stderr, "loadgen:", err)
-		os.Exit(1)
-	}
-	if err := f.Close(); err != nil {
+	if err := benchutil.WriteJSON(*outFlag, snap); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}

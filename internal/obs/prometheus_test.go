@@ -29,6 +29,10 @@ func TestWritePrometheusGolden(t *testing.T) {
 	for _, v := range []float64{0.005, 0.02, 0.4, 2.5} {
 		he.Observe(v)
 	}
+	// The sharded-fleet serving metrics (SERVING.md, "Sharded fleet").
+	r.Counter("shard.ring.moves").Add(5)
+	r.Counter("server.batch.joined").Add(7)
+	r.Counter("server.tenant.throttled").Add(2)
 
 	var buf bytes.Buffer
 	if err := r.WritePrometheus(&buf); err != nil {

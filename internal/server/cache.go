@@ -23,6 +23,10 @@ type artifactCache struct {
 
 	hits, misses, coalesced, evictions *obs.Counter
 	size                               *obs.Gauge
+	// batchJoined counts coalesced waits under their fleet-facing name: in a
+	// sharded deployment, distinct concurrent requests routed to this shard
+	// for the same artifact joined one compilation (cross-request batching).
+	batchJoined *obs.Counter
 }
 
 type cacheEntry struct {
@@ -52,6 +56,8 @@ func newArtifactCache(max int, reg *obs.Registry) *artifactCache {
 		coalesced: reg.Counter("server.cache.coalesced"),
 		evictions: reg.Counter("server.cache.evictions"),
 		size:      reg.Gauge("server.cache.size"),
+
+		batchJoined: reg.Counter("server.batch.joined"),
 	}
 }
 
@@ -100,6 +106,7 @@ func (c *artifactCache) getOrPrepare(key string, prepare func() (*core.Artifact,
 		}
 		c.hits.Inc()
 		c.coalesced.Inc()
+		c.batchJoined.Inc()
 		return call.art, cacheCoalesced, nil
 	}
 	call := &prepareCall{done: make(chan struct{})}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Regression tests for poolFor's locking: the original implementation held
+// poolsMu across dist.NewPool's TCP dials, so one slow or hung dial
+// serialised every remote request on the server — including requests naming
+// completely different worker sets. Dials now single-flight per address set
+// outside the lock.
+
+// TestPoolForSlowDialDoesNotBlockOtherSets: while one address set's dial is
+// stuck, a request for a different set dials and completes immediately.
+func TestPoolForSlowDialDoesNotBlockOtherSets(t *testing.T) {
+	worker := startDistWorker(t)
+	s := New(Config{})
+
+	slowGate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	testHookPoolDial = func(key string) {
+		if strings.Contains(key, "127.0.0.1:1") {
+			entered <- struct{}{}
+			<-slowGate
+		}
+	}
+	defer func() { testHookPoolDial = nil }()
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, _ = s.poolFor(ctx, []string{"127.0.0.1:1"}) // dead port; error expected
+	}()
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	t0 := time.Now()
+	p, err := s.poolFor(ctx, []string{worker})
+	if err != nil {
+		t.Fatalf("poolFor(other set) while slow dial in flight: %v", err)
+	}
+	defer p.Close()
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Errorf("poolFor(other set) took %v — blocked behind the slow dial", elapsed)
+	}
+
+	close(slowGate)
+	select {
+	case <-leaderDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("slow-dial leader never returned")
+	}
+}
+
+// TestPoolForSingleFlight: concurrent requests for one address set share one
+// dial.
+func TestPoolForSingleFlight(t *testing.T) {
+	worker := startDistWorker(t)
+	s := New(Config{})
+
+	var dials atomic.Int32
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	testHookPoolDial = func(string) {
+		dials.Add(1)
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+	}
+	defer func() { testHookPoolDial = nil }()
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_, errs[i] = s.poolFor(ctx, []string{worker})
+		}(i)
+	}
+	<-entered
+	// Give the other callers time to reach poolFor and queue as waiters.
+	time.Sleep(100 * time.Millisecond)
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("%d dials in flight, want 1 (single-flight broken)", got)
+	}
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if got := dials.Load(); got != 1 {
+		t.Errorf("%d dials total, want 1", got)
+	}
+	s.poolsMu.Lock()
+	p := s.pools[worker]
+	s.poolsMu.Unlock()
+	if p == nil {
+		t.Fatal("pool not cached after single-flight dial")
+	}
+	_ = p.Close()
+}
+
+// TestPoolForWaiterHonoursContext: a waiter whose context dies while the
+// leader is still dialing unblocks immediately with the context error.
+func TestPoolForWaiterHonoursContext(t *testing.T) {
+	s := New(Config{})
+
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	testHookPoolDial = func(string) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-gate
+	}
+	defer func() { testHookPoolDial = nil }()
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, _ = s.poolFor(ctx, []string{"127.0.0.1:1"})
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t0 := time.Now()
+	_, err := s.poolFor(ctx, []string{"127.0.0.1:1"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter error = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(t0); elapsed > time.Second {
+		t.Errorf("canceled waiter took %v to unblock", elapsed)
+	}
+
+	close(gate)
+	select {
+	case <-leaderDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("leader never returned")
+	}
+}

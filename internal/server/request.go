@@ -64,6 +64,11 @@ type RunRequest struct {
 	// span tree under "trace", with remote worker subtrees spliced in on
 	// their own process lanes. Tracing never affects the cache key.
 	Trace bool `json:"trace,omitempty"`
+	// Tenant identifies the caller for per-tenant accounting and quota
+	// enforcement; the X-Tenant-Id header is the out-of-band equivalent (the
+	// body field wins). Tenancy never affects the artifact cache key —
+	// ArtifactRequest strips it, so tenants share compiled artifacts.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // DataSpec mirrors the CLI data-generation flags. Kind "sensor" (default)

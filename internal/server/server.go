@@ -15,7 +15,6 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
-	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -52,6 +51,12 @@ type Config struct {
 	MaxTimeout     time.Duration
 	// MaxBodyBytes bounds the request body. Default 1 MiB.
 	MaxBodyBytes int64
+	// TenantQuota caps the admission slots (executing + queued) any single
+	// named tenant may hold; a tenant at its quota is answered 429 even
+	// when global capacity remains, so one hot tenant cannot starve the
+	// accept queue. Anonymous requests are exempt. Default: half of
+	// MaxInflight+QueueDepth, minimum 1.
+	TenantQuota int
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
 	// Registry receives the server metrics; a fresh one is created when
@@ -81,6 +86,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.TenantQuota <= 0 {
+		c.TenantQuota = (c.MaxInflight + c.QueueDepth) / 2
+		if c.TenantQuota < 1 {
+			c.TenantQuota = 1
+		}
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
@@ -116,9 +127,16 @@ type Server struct {
 
 	// pools caches worker pools by their sorted address list, so repeated
 	// requests naming the same worker set reuse live connections and
-	// worker-side session caches.
-	poolsMu sync.Mutex
-	pools   map[string]*dist.Pool
+	// worker-side session caches. Dials run outside poolsMu: concurrent
+	// requests for the same address set single-flight on a poolCall
+	// (poolDials), and requests for different sets never wait on each
+	// other's TCP dials.
+	poolsMu   sync.Mutex
+	pools     map[string]*dist.Pool
+	poolDials map[string]*poolCall
+
+	// tenants is the fairness-aware half of admission control (tenant.go).
+	tenants *tenantLimiter
 
 	mRequests       *obs.Counter
 	mOK             *obs.Counter
@@ -141,6 +159,10 @@ type Server struct {
 	mCircuitMisses *obs.Counter
 	gCircuitNodes  *obs.Gauge
 	hCircuitEval   *obs.Histogram
+
+	// mWarm counts /v1/warm requests that resolved an artifact (the shard
+	// router's cache-migration traffic).
+	mWarm *obs.Counter
 }
 
 // latencyBucketsMs are the /metrics latency histogram upper bounds.
@@ -154,6 +176,12 @@ var evalBucketsMs = []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 25, 100}
 // worker slot, before the pipeline starts.
 var testHookInflight func()
 
+// testHookPoolDial, when set by tests, runs on the dialing (leader) path of
+// poolFor just before dist.NewPool, with the pool's address-set key. It
+// exists to prove that a slow dial blocks neither other address sets nor
+// same-set waiters' cancellation.
+var testHookPoolDial func(key string)
+
 // New builds a server; it does not listen yet.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
@@ -165,6 +193,8 @@ func New(cfg Config) *Server {
 		queueSlots: make(chan struct{}, cfg.MaxInflight+cfg.QueueDepth),
 		serveErr:   make(chan error, 1),
 		pools:      map[string]*dist.Pool{},
+		poolDials:  map[string]*poolCall{},
+		tenants:    newTenantLimiter(cfg.TenantQuota, cfg.Registry),
 		accessLog:  cfg.AccessLog,
 
 		mRequests:       cfg.Registry.Counter("server.requests"),
@@ -186,6 +216,8 @@ func New(cfg Config) *Server {
 		mCircuitMisses: cfg.Registry.Counter("circuit.cache.misses"),
 		gCircuitNodes:  cfg.Registry.Gauge("circuit.nodes"),
 		hCircuitEval:   cfg.Registry.Histogram("circuit.eval_ms", evalBucketsMs),
+
+		mWarm: cfg.Registry.Counter("server.warm.requests"),
 	}
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
@@ -200,6 +232,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/whatif", s.handleWhatif)
+	mux.HandleFunc("/v1/warm", s.handleWarm)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	if s.cfg.Pprof {
@@ -295,53 +328,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// metricJSON mirrors obs.MetricValue with a JSON-encodable overflow
-// bucket: encoding/json rejects +Inf, so Le is a float64 or the string
-// "+Inf".
-type metricJSON struct {
-	Name    string       `json:"name"`
-	Kind    string       `json:"kind"`
-	Value   float64      `json:"value"`
-	Sum     float64      `json:"sum,omitempty"`
-	Buckets []bucketJSON `json:"buckets,omitempty"`
-}
-
-type bucketJSON struct {
-	Le    any   `json:"le"`
-	Count int64 `json:"count"`
-}
-
-// handleMetrics negotiates among three renderings of the same registry:
-// ?format=json (or Accept: application/json) keeps the structured JSON form,
-// ?format=prometheus (or an Accept naming text/plain, as Prometheus scrapers
-// send) gets the exposition-format text, and everything else — including
-// curl's bare Accept: */* — keeps the legacy human-readable dump.
+// handleMetrics renders the registry; format negotiation (JSON snapshot,
+// Prometheus exposition, human-readable dump) lives in obs.WriteMetricsHTTP
+// so every /metrics endpoint in the fleet — serve shards and the shard
+// router — shares one contract.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	format := r.URL.Query().Get("format")
-	accept := r.Header.Get("Accept")
-	switch {
-	case format == "json" || (format == "" && strings.Contains(accept, "application/json")):
-		vals := s.reg.Values()
-		out := make([]metricJSON, 0, len(vals))
-		for _, v := range vals {
-			m := metricJSON{Name: v.Name, Kind: v.Kind, Value: v.Value, Sum: v.Sum}
-			for _, b := range v.Buckets {
-				var le any = b.Le
-				if math.IsInf(b.Le, 1) {
-					le = "+Inf"
-				}
-				m.Buckets = append(m.Buckets, bucketJSON{Le: le, Count: b.Count})
-			}
-			out = append(out, m)
-		}
-		writeJSON(w, http.StatusOK, out)
-	case format == "prometheus" || (format == "" && strings.Contains(accept, "text/plain")):
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = s.reg.WritePrometheus(w)
-	default:
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, s.reg.String())
-	}
+	obs.WriteMetricsHTTP(s.reg, w, r)
 }
 
 // handleRun is POST /v1/run: admission → decode → cache-aware pipeline →
@@ -390,6 +382,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	info := infoFrom(r.Context())
 	info.artifact = key
+
+	// Fairness: a named tenant at its quota is shed even though global
+	// capacity remains, so it cannot monopolise the accept queue. The tenant
+	// identity never reaches BuildSpec — it must not perturb the artifact key.
+	tenant := resolveTenant(req.Tenant, r.Header.Get(tenantHeader))
+	info.tenant = tenant
+	if !s.tenants.acquire(tenant) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "tenant %q over quota (%d slots)",
+			tenant, s.cfg.TenantQuota)
+		return
+	}
+	defer s.tenants.release(tenant)
 
 	// Per-request hard deadline, clamped to the server maximum. It covers
 	// queueing and the whole pipeline, and is joined with the client's
@@ -556,31 +561,75 @@ func (s *Server) executeRemote(ctx context.Context, art *core.Artifact, key stri
 	}, remote, nil
 }
 
+// poolCall is one in-flight pool dial; concurrent poolFor calls for the
+// same address set wait on done instead of dialing twice.
+type poolCall struct {
+	done chan struct{}
+	pool *dist.Pool
+	err  error
+}
+
 // poolFor returns the cached pool for a worker set (keyed by the sorted
 // address list), dialing it on first use and re-dialing when every worker in
-// the cached pool has died.
+// the cached pool has died. Dials are single-flighted per address set and
+// run OUTSIDE poolsMu — a slow or hung dial to one worker set must block
+// neither requests naming other sets nor the map itself (the same pattern
+// the artifact cache uses for slow preparations). Waiters honour their own
+// context: a caller whose deadline expires while the leader is still
+// dialing unblocks immediately.
 func (s *Server) poolFor(ctx context.Context, addrs []string) (*dist.Pool, error) {
 	sorted := append([]string(nil), addrs...)
 	sort.Strings(sorted)
 	key := strings.Join(sorted, ",")
-	s.poolsMu.Lock()
-	defer s.poolsMu.Unlock()
-	if p, ok := s.pools[key]; ok {
-		if p.AliveWorkers() > 0 {
-			return p, nil
+	for {
+		s.poolsMu.Lock()
+		if p, ok := s.pools[key]; ok {
+			if p.AliveWorkers() > 0 {
+				s.poolsMu.Unlock()
+				return p, nil
+			}
+			_ = p.Close()
+			delete(s.pools, key)
 		}
-		_ = p.Close()
-		delete(s.pools, key)
+		if call, ok := s.poolDials[key]; ok {
+			s.poolsMu.Unlock()
+			select {
+			case <-call.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if call.err != nil {
+				// The leader's dial failed (possibly under its own, shorter
+				// deadline). Loop to retry under ours rather than inheriting
+				// a failure we might not have had.
+				if ctx.Err() != nil {
+					return nil, call.err
+				}
+				continue
+			}
+			return call.pool, nil
+		}
+		call := &poolCall{done: make(chan struct{})}
+		s.poolDials[key] = call
+		s.poolsMu.Unlock()
+
+		if testHookPoolDial != nil {
+			testHookPoolDial(key)
+		}
+		p, err := dist.NewPool(ctx, dist.PoolConfig{
+			Addrs: sorted,
+			Reg:   s.reg,
+		})
+		s.poolsMu.Lock()
+		delete(s.poolDials, key)
+		if err == nil {
+			s.pools[key] = p
+		}
+		s.poolsMu.Unlock()
+		call.pool, call.err = p, err
+		close(call.done)
+		return p, err
 	}
-	p, err := dist.NewPool(ctx, dist.PoolConfig{
-		Addrs: sorted,
-		Reg:   s.reg,
-	})
-	if err != nil {
-		return nil, err
-	}
-	s.pools[key] = p
-	return p, nil
 }
 
 // finishCtxErr maps a context failure to the response contract: 504 for a

@@ -36,6 +36,7 @@ type reqInfo struct {
 	cache    string // miss | hit | coalesced
 	remote   bool   // jobs shipped to remote workers
 	fallback bool   // remote requested but served locally
+	tenant   string // sanitized tenant identity; empty for anonymous
 }
 
 type reqInfoKey struct{}
@@ -154,6 +155,9 @@ func (s *Server) withTelemetry(next http.Handler) http.Handler {
 			attrs = append(attrs,
 				slog.Bool("remote", info.remote),
 				slog.Bool("fallback", info.fallback))
+		}
+		if info.tenant != "" {
+			attrs = append(attrs, slog.String("tenant", info.tenant))
 		}
 		s.accessLog.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 	})

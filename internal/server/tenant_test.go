@@ -1,0 +1,128 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestTenantQuotaEnforced: a named tenant at its quota is answered 429 even
+// though global capacity remains, while other tenants and anonymous traffic
+// keep flowing.
+func TestTenantQuotaEnforced(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	testHookInflight = func() {
+		entered <- struct{}{}
+		<-gate
+	}
+	defer func() { testHookInflight = nil }()
+	var once sync.Once
+	openGate := func() { once.Do(func() { close(gate) }) }
+	defer openGate()
+
+	s := startTestServer(t, Config{MaxInflight: 4, QueueDepth: 4, TenantQuota: 1})
+	client := &http.Client{}
+
+	// Tenant t1 occupies its single slot.
+	firstDone := make(chan int, 1)
+	go func() {
+		req := smallRequest(41, 6)
+		req.Tenant = "t1"
+		status, _, _ := postRun(t, client, s.Addr(), req)
+		firstDone <- status
+	}()
+	<-entered
+
+	// Same tenant, second request: over quota → 429.
+	req := smallRequest(42, 6)
+	req.Tenant = "t1"
+	status, _, body := postRun(t, client, s.Addr(), req)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("over-quota tenant: status %d, want 429: %s", status, body)
+	}
+	if counterValue(s, "server.tenant.throttled") != 1 {
+		t.Errorf("server.tenant.throttled = %d, want 1", counterValue(s, "server.tenant.throttled"))
+	}
+	if counterValue(s, "server.tenant.t1.throttled") != 1 {
+		t.Errorf("server.tenant.t1.throttled = %d, want 1", counterValue(s, "server.tenant.t1.throttled"))
+	}
+
+	// A different tenant and an anonymous caller are unaffected.
+	openGate()
+	other := smallRequest(43, 6)
+	other.Tenant = "t2"
+	if status, _, body := postRun(t, client, s.Addr(), other); status != http.StatusOK {
+		t.Fatalf("other tenant: status %d: %s", status, body)
+	}
+	if status, _, body := postRun(t, client, s.Addr(), smallRequest(44, 6)); status != http.StatusOK {
+		t.Fatalf("anonymous: status %d: %s", status, body)
+	}
+	if status := <-firstDone; status != http.StatusOK {
+		t.Fatalf("tenant t1's admitted request: status %d", status)
+	}
+
+	// Quota released: t1 can run again.
+	req = smallRequest(45, 6)
+	req.Tenant = "t1"
+	if status, _, body := postRun(t, client, s.Addr(), req); status != http.StatusOK {
+		t.Fatalf("t1 after release: status %d: %s", status, body)
+	}
+}
+
+// TestTenantIdentityResolution: the body field wins over the header, the
+// header works alone, and identifiers are sanitized before reaching metric
+// names.
+func TestTenantIdentityResolution(t *testing.T) {
+	if got := resolveTenant("body", "header"); got != "body" {
+		t.Errorf("resolveTenant(body, header) = %q, want body", got)
+	}
+	if got := resolveTenant("", "header"); got != "header" {
+		t.Errorf("resolveTenant(\"\", header) = %q, want header", got)
+	}
+	if got := resolveTenant("", ""); got != "" {
+		t.Errorf("resolveTenant(\"\", \"\") = %q, want empty", got)
+	}
+	if got := sanitizeTenant("a b/c#d"); got != "a_b_c_d" {
+		t.Errorf("sanitizeTenant = %q, want a_b_c_d", got)
+	}
+	long := make([]byte, 200)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if got := sanitizeTenant(string(long)); len(got) != maxTenantIDLen {
+		t.Errorf("sanitizeTenant(long) length = %d, want %d", len(got), maxTenantIDLen)
+	}
+}
+
+// TestTenantSeriesCardinalityCap: past maxTenantSeries distinct tenants,
+// per-tenant metrics fold into "overflow" — quotas still apply per tenant,
+// the registry just stops growing.
+func TestTenantSeriesCardinalityCap(t *testing.T) {
+	s := startTestServer(t, Config{})
+	client := &http.Client{}
+
+	for i := 0; i < maxTenantSeries+5; i++ {
+		req := smallRequest(50, 6) // one artifact; cache keeps this cheap
+		req.Tenant = "tenant-" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		if status, _, body := postRun(t, client, s.Addr(), req); status != http.StatusOK {
+			t.Fatalf("tenant %d: status %d: %s", i, status, body)
+		}
+	}
+	perTenant := 0
+	for _, v := range s.reg.Values() {
+		if len(v.Name) > 14 && v.Name[:14] == "server.tenant." &&
+			v.Name != "server.tenant.requests" && v.Name != "server.tenant.throttled" &&
+			v.Name != "server.tenant.active" {
+			perTenant++
+		}
+	}
+	// Each in-cap tenant gets .requests + .inflight; overflow adds the same.
+	max := (maxTenantSeries + 1) * 2
+	if perTenant > max {
+		t.Errorf("%d per-tenant series, want ≤ %d (cardinality cap broken)", perTenant, max)
+	}
+	if counterValue(s, "server.tenant.overflow.requests") == 0 {
+		t.Error("overflow series never used despite exceeding the cap")
+	}
+}

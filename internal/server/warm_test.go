@@ -1,0 +1,93 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func postWarm(t *testing.T, client *http.Client, addr string, req RunRequest) (int, WarmResponse, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post("http://"+addr+"/v1/warm", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/warm: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	var out WarmResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+			t.Fatalf("bad warm response: %v\n%s", err, buf.Bytes())
+		}
+	}
+	return resp.StatusCode, out, buf.Bytes()
+}
+
+// TestWarmResolvesArtifact: /v1/warm pays for preparation, so the next run
+// of the same artifact is a cache hit with zero front-end work.
+func TestWarmResolvesArtifact(t *testing.T) {
+	s := startTestServer(t, Config{})
+	client := &http.Client{}
+
+	req := smallRequest(61, 8)
+	status, warm, raw := postWarm(t, client, s.Addr(), req)
+	if status != http.StatusOK {
+		t.Fatalf("warm: status %d: %s", status, raw)
+	}
+	if warm.Cache != "miss" {
+		t.Errorf("first warm: cache = %q, want miss", warm.Cache)
+	}
+	if warm.Key == "" || warm.Variables == 0 || warm.NetworkNodes == 0 {
+		t.Errorf("warm response incomplete: %+v", warm)
+	}
+
+	status, run, _ := postRun(t, client, s.Addr(), req)
+	if status != http.StatusOK {
+		t.Fatalf("run after warm: status %d", status)
+	}
+	if run.Cache != "hit" {
+		t.Errorf("run after warm: cache = %q, want hit", run.Cache)
+	}
+	if counterValue(s, "server.warm.requests") != 1 {
+		t.Errorf("server.warm.requests = %d, want 1", counterValue(s, "server.warm.requests"))
+	}
+
+	// Warming an already-hot artifact is a hit, not a second preparation.
+	status, warm2, _ := postWarm(t, client, s.Addr(), req)
+	if status != http.StatusOK || warm2.Cache != "hit" {
+		t.Errorf("second warm: status %d cache %q, want 200/hit", status, warm2.Cache)
+	}
+}
+
+// TestWarmValidation: method and body errors map to the run contract.
+func TestWarmValidation(t *testing.T) {
+	s := startTestServer(t, Config{})
+	client := &http.Client{}
+
+	resp, err := client.Get("http://" + s.Addr() + "/v1/warm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/warm: status %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = client.Post("http://"+s.Addr()+"/v1/warm", "application/json",
+		bytes.NewReader([]byte(`{"program":"no-such-program"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad program: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -42,6 +42,8 @@ type WhatifRequest struct {
 	// Order selects the variable-order heuristic, as in /v1/run.
 	Order     string `json:"order,omitempty"`
 	TimeoutMs int    `json:"timeout_ms,omitempty"`
+	// Tenant identifies the caller for quota enforcement, as in /v1/run.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // WhatifResponse is the body of a successful POST /v1/whatif.
@@ -86,9 +88,10 @@ type TargetInfluence struct {
 // maxWhatifPoints bounds the sweep grid.
 const maxWhatifPoints = 256
 
-// runRequest strips a what-if request down to the artifact-identifying
-// RunRequest used for cache-key derivation and validation.
-func (wr WhatifRequest) runRequest() RunRequest {
+// RunRequest strips a what-if request down to the artifact-identifying
+// RunRequest used for cache-key derivation and validation; the shard router
+// uses it to route what-if traffic by the same artifact key as /v1/run.
+func (wr WhatifRequest) RunRequest() RunRequest {
 	return RunRequest{
 		Program: wr.Program,
 		Source:  wr.Source,
@@ -175,7 +178,7 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "timeout_ms must be ≥ 0")
 		return
 	}
-	rreq := req.runRequest()
+	rreq := req.RunRequest()
 	spec, key, err := BuildSpec(rreq)
 	if err != nil {
 		s.mBadRequest.Inc()
@@ -184,6 +187,16 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 	}
 	info := infoFrom(r.Context())
 	info.artifact = key
+
+	tenant := resolveTenant(req.Tenant, r.Header.Get(tenantHeader))
+	info.tenant = tenant
+	if !s.tenants.acquire(tenant) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "tenant %q over quota (%d slots)",
+			tenant, s.cfg.TenantQuota)
+		return
+	}
+	defer s.tenants.release(tenant)
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMs > 0 {
