@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test test-short test-race vet fuzz-smoke fuzz bench bench-serve bench-compare alloc-guard obs-race smoke serve-smoke worker-smoke trace-smoke bench-distributed circuit-equiv bench-whatif shard-smoke bench-shard ci
+.PHONY: build test test-short test-race vet fuzz-smoke fuzz bench bench-serve bench-compare alloc-guard obs-race smoke serve-smoke worker-smoke trace-smoke bench-distributed circuit-equiv bench-whatif shard-smoke bench-shard stream-smoke bench-stream ci
 
 build:
 	$(GO) build ./...
@@ -120,6 +120,23 @@ bench-whatif: build
 shard-smoke: build
 	$(GO) run ./cmd/loadgen -shard-smoke
 
+# stream-smoke boots a real `enframe serve` process and drives the /v1/stream
+# streaming data plane end to end: twin sessions (incremental vs an
+# always-full-recompile oracle) fed identical delta batches must stay
+# bitwise-identical after every push, a duplicate push must be rejected with
+# 409 carrying the session sequence, and the process must return to its
+# baseline goroutine count after the sessions close (no leaks) before
+# draining on SIGTERM (SERVING.md, "Streaming sessions").
+stream-smoke: build
+	$(GO) run ./cmd/loadgen -stream-smoke
+
+# bench-stream measures streaming update latency and refreshes
+# BENCH_stream.json: probability-only deltas must replay the memoized circuit
+# at least 100× faster than a warm full recompilation, and incremental
+# structural deltas (one dirty segment of eight) at least 2× faster.
+bench-stream: build
+	$(GO) run ./cmd/loadgen -stream -out BENCH_stream.json
+
 # bench-shard measures shard-count scaling and merges the shard_scaling
 # section into BENCH_serve.json: real warm per-key service times partitioned
 # by the real consistent-hash ring over 1/2/4 virtual shards (the single-CPU
@@ -129,4 +146,4 @@ shard-smoke: build
 bench-shard: build
 	$(GO) run ./cmd/loadgen -shard-sweep -out BENCH_serve.json
 
-ci: vet build test test-race obs-race alloc-guard smoke serve-smoke worker-smoke trace-smoke bench-distributed circuit-equiv bench-whatif shard-smoke
+ci: vet build test test-race obs-race alloc-guard smoke serve-smoke worker-smoke trace-smoke bench-distributed circuit-equiv bench-whatif shard-smoke stream-smoke

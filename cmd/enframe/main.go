@@ -101,6 +101,7 @@ func usage(w io.Writer) {
        enframe serve [flags]   start the HTTP serving layer (SERVING.md)
        enframe route [flags]   start the shard router for a serving fleet (SERVING.md)
        enframe worker [flags]  start a distributed compilation worker (DESIGN.md)
+       enframe stream [flags]  drive a /v1/stream session on a running server (SERVING.md)
 
 Run 'enframe <subcommand> -h' for subcommand flags.`)
 }
@@ -127,6 +128,8 @@ func main() {
 		err = runRoute(args)
 	case "worker":
 		err = runWorker(args)
+	case "stream":
+		err = runStream(args)
 	case "help":
 		usage(os.Stdout)
 		return

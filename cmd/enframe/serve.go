@@ -28,6 +28,8 @@ func runServe(args []string) error {
 	grace := fs.Duration("grace", 30*time.Second, "drain grace period on SIGTERM/SIGINT")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof on the serving mux")
 	accessLog := fs.Bool("access-log", true, "write one JSON access-log line per request to stderr")
+	streamSessions := fs.Int("stream-sessions", 0, "max live /v1/stream sessions (0 = 64)")
+	streamIdle := fs.Duration("stream-idle", 0, "idle age after which a stream session may be evicted (0 = 15m)")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: enframe serve [-addr HOST:PORT] [flags]   (API schema in SERVING.md)")
 		fs.PrintDefaults()
@@ -49,6 +51,9 @@ func runServe(args []string) error {
 		MaxBodyBytes:   *maxBody,
 		TenantQuota:    *tenantQuota,
 		Pprof:          *pprofOn,
+
+		MaxStreamSessions: *streamSessions,
+		StreamIdleTimeout: *streamIdle,
 	}
 	if *accessLog {
 		cfg.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -61,7 +66,7 @@ func runServe(args []string) error {
 	// harnesses that start shard fleets on ephemeral ports scrape stdout for
 	// the bound address.
 	fmt.Printf("LISTEN %s\n", srv.Addr())
-	fmt.Fprintf(os.Stderr, "enframe: serving on http://%s (POST /v1/run, GET /healthz, GET /metrics)\n", srv.Addr())
+	fmt.Fprintf(os.Stderr, "enframe: serving on http://%s (POST /v1/run, POST /v1/stream, GET /healthz, GET /metrics)\n", srv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

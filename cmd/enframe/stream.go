@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"enframe/internal/server"
+	"enframe/internal/stream"
+)
+
+// runStream is the `enframe stream` subcommand: a thin client for the
+// /v1/stream session protocol of a running `enframe serve` (or `enframe
+// route`) process. One invocation issues one protocol verb; the session id
+// printed by create addresses the session in later invocations:
+//
+//	enframe stream -addr 127.0.0.1:8080 -op create -config '{"segments":3}'
+//	enframe stream -addr ... -op push -session ID -base-seq 0 \
+//	        -deltas '[{"op":"prob","window":0,"var":"x0","p":0.4}]'
+//	enframe stream -addr ... -op query -session ID
+//	enframe stream -addr ... -op close -session ID
+func runStream(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "server or router address")
+	op := fs.String("op", "query", "protocol verb: create, push, query, or close")
+	session := fs.String("session", "", "session id (required for push/query/close)")
+	configJSON := fs.String("config", "", "session config JSON for create (see SERVING.md)")
+	baseSeq := fs.Uint64("base-seq", 0, "expected session sequence for push")
+	deltasJSON := fs.String("deltas", "", "delta batch JSON array for push ('-' = read stdin)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: enframe stream -addr HOST:PORT -op VERB [flags]   (protocol in SERVING.md)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("stream: unexpected argument %q", fs.Arg(0))
+	}
+
+	req := server.StreamRequest{Op: *op, SessionID: *session, BaseSeq: *baseSeq}
+	if *configJSON != "" {
+		req.Config = &stream.Config{}
+		if err := json.Unmarshal([]byte(*configJSON), req.Config); err != nil {
+			return fmt.Errorf("stream: bad -config: %w", err)
+		}
+	}
+	if *deltasJSON != "" {
+		raw := []byte(*deltasJSON)
+		if *deltasJSON == "-" {
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(os.Stdin); err != nil {
+				return fmt.Errorf("stream: read stdin: %w", err)
+			}
+			raw = buf.Bytes()
+		}
+		if err := json.Unmarshal(raw, &req.Deltas); err != nil {
+			return fmt.Errorf("stream: bad -deltas: %w", err)
+		}
+	}
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post("http://"+*addr+"/v1/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	defer resp.Body.Close()
+	var pretty bytes.Buffer
+	if _, err := pretty.ReadFrom(resp.Body); err != nil {
+		return err
+	}
+	var out bytes.Buffer
+	if json.Indent(&out, pretty.Bytes(), "", "  ") == nil {
+		fmt.Println(out.String())
+	} else {
+		fmt.Println(pretty.String())
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stream: %s: status %d", *op, resp.StatusCode)
+	}
+	return nil
+}

@@ -64,6 +64,10 @@ var (
 		"run the shard-count scaling sweep (1/2/4 real shard processes + virtual partitioning model) and merge the shard_scaling section into -out")
 	shardSmokeFl = flag.Bool("shard-smoke", false,
 		"run the sharded-fleet CI smoke: real shard + router processes, byte-identity vs single-node, join warming, kill-one-shard failover")
+	streamFl = flag.Bool("stream", false,
+		"run the streaming update-latency benchmark (incremental deltas vs warm full recompilation) and write the snapshot to -out")
+	streamSmokeFl = flag.Bool("stream-smoke", false,
+		"run the streaming CI smoke: real server process, twin sessions checked bitwise against a full-recompile oracle, seq-conflict and goroutine-leak checks")
 )
 
 // coldSeedBase offsets jittered seeds far above the warm key range so a cold
@@ -508,6 +512,13 @@ func main() {
 		}
 		return
 	}
+	if *streamSmokeFl {
+		if err := runStreamSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: stream-smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	addr, stop, err := ensureServer()
 	if err != nil {
@@ -529,6 +540,15 @@ func main() {
 		stop()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen: whatif:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *streamFl {
+		err := benchStream(addr)
+		stop()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: stream:", err)
 			os.Exit(1)
 		}
 		return

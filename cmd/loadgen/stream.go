@@ -1,0 +1,460 @@
+package main
+
+// Streaming data-plane drivers: the CI smoke (`-stream-smoke`, a real
+// `enframe serve` process driven over HTTP) and the update-latency benchmark
+// (`-stream`, writes BENCH_stream.json behind speedup floor gates).
+//
+// Both run *twin sessions* over the same server: one incremental
+// (dirty_threshold -1 — never falls back to a full rebuild) and one
+// always-full (dirty_threshold ~0 — any structural delta recompiles every
+// segment from scratch). Every delta batch is pushed to both, and the
+// marginals must match bitwise after every push: the always-full session IS
+// a recompile-from-scratch oracle, so identity here is the HTTP-level
+// counterpart of the in-process seeded difftest. The always-full session's
+// structural pushes double as the warm-full-recompilation baseline the
+// benchmark gates against.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"time"
+
+	"enframe/internal/benchutil"
+	"enframe/internal/server"
+	"enframe/internal/stream"
+)
+
+// Benchmark floor gates (the ISSUE acceptance bars): a probability-only
+// update must beat a warm full recompilation by ≥100×, an incremental
+// structural update by ≥2×.
+const (
+	streamProbSpeedupFloor   = 100.0
+	streamStructSpeedupFloor = 2.0
+)
+
+// streamSession drives one /v1/stream session, tracking the sequence number
+// and the predicted next insert id of the newest window client-side.
+type streamSession struct {
+	hc      *http.Client
+	addr    string
+	id      string
+	seq     uint64
+	nextIns int
+}
+
+// streamPost sends one raw stream request and returns status + parsed body
+// (parsed only on 200; the raw bytes come back for conflict bodies).
+func streamPost(hc *http.Client, addr string, req server.StreamRequest) (int, server.StreamResponse, []byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, server.StreamResponse{}, nil, err
+	}
+	resp, err := hc.Post("http://"+addr+"/v1/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, server.StreamResponse{}, nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return resp.StatusCode, server.StreamResponse{}, nil, err
+	}
+	var out server.StreamResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+			return resp.StatusCode, out, buf.Bytes(), err
+		}
+	}
+	return resp.StatusCode, out, buf.Bytes(), nil
+}
+
+// openStream creates one session and returns a driver for it.
+func openStream(hc *http.Client, addr string, cfg *stream.Config) (*streamSession, server.StreamResponse, error) {
+	status, resp, raw, err := streamPost(hc, addr, server.StreamRequest{Op: "create", Config: cfg})
+	if err != nil {
+		return nil, resp, err
+	}
+	if status != http.StatusOK {
+		return nil, resp, fmt.Errorf("create: status %d: %s", status, raw)
+	}
+	return &streamSession{
+		hc: hc, addr: addr, id: resp.SessionID, seq: resp.Seq,
+		nextIns: cfg.SegmentN,
+	}, resp, nil
+}
+
+// push applies one delta batch at the tracked sequence and returns the
+// response plus the client round-trip time.
+func (s *streamSession) push(deltas []stream.Delta) (server.StreamResponse, time.Duration, error) {
+	start := time.Now()
+	status, resp, raw, err := streamPost(s.hc, s.addr, server.StreamRequest{
+		Op: "push", SessionID: s.id, BaseSeq: s.seq, Deltas: deltas,
+	})
+	rtt := time.Since(start)
+	if err != nil {
+		return resp, rtt, err
+	}
+	if status != http.StatusOK {
+		return resp, rtt, fmt.Errorf("push seq %d: status %d: %s", s.seq, status, raw)
+	}
+	s.seq = resp.Seq
+	return resp, rtt, nil
+}
+
+func (s *streamSession) close() error {
+	status, _, raw, err := streamPost(s.hc, s.addr, server.StreamRequest{Op: "close", SessionID: s.id})
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("close: status %d: %s", status, raw)
+	}
+	return nil
+}
+
+// churnBatch is one structural batch that leaves the tuple set unchanged:
+// insert a tuple into the newest window and delete it again in the same
+// batch. The segment still gains a fresh variable, so its network
+// fingerprint moves and the segment must be re-ground and re-traced — pure
+// structural work at a stable problem size.
+func (s *streamSession) churnBatch(p float64) []stream.Delta {
+	id := s.nextIns
+	s.nextIns++
+	return []stream.Delta{
+		{Op: stream.OpInsert, Pos: []float64{0.7, 0.3}, P: &p},
+		{Op: stream.OpDelete, ID: id},
+	}
+}
+
+// streamMarginalsEqual compares two marginal sets bitwise — the
+// byte-identity bar: same window, same target, same float64 bits.
+func streamMarginalsEqual(a, b []stream.Marginal) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Window != b[i].Window || a[i].Name != b[i].Name ||
+			math.Float64bits(a[i].Lower) != math.Float64bits(b[i].Lower) ||
+			math.Float64bits(a[i].Upper) != math.Float64bits(b[i].Upper) {
+			return false
+		}
+	}
+	return true
+}
+
+// twinPush pushes one batch to both sessions and enforces bitwise identity
+// between the incremental replica and the always-full oracle.
+func twinPush(incr, full *streamSession, deltas []stream.Delta, label string) (incrResp, fullResp server.StreamResponse, rtt time.Duration, err error) {
+	incrResp, rtt, err = incr.push(deltas)
+	if err != nil {
+		return incrResp, fullResp, rtt, fmt.Errorf("%s (incremental): %w", label, err)
+	}
+	fullResp, _, err = full.push(deltas)
+	if err != nil {
+		return incrResp, fullResp, rtt, fmt.Errorf("%s (full oracle): %w", label, err)
+	}
+	if !streamMarginalsEqual(incrResp.Marginals, fullResp.Marginals) {
+		return incrResp, fullResp, rtt,
+			fmt.Errorf("%s: incremental marginals diverge from the full-recompile oracle", label)
+	}
+	return incrResp, fullResp, rtt, nil
+}
+
+// streamWorkload is the shared session shape. threshold -1 never falls back
+// to a full rebuild (pure incremental); a tiny positive threshold rebuilds
+// every segment on any structural dirt (the scratch-recompile oracle).
+func streamWorkload(segments, segmentN int, threshold float64, seed int64) *stream.Config {
+	return &stream.Config{
+		Program: "kmedoids", K: 2, Iter: 2,
+		Segments: segments, SegmentN: segmentN, Group: 2,
+		Seed: seed, DirtyThreshold: threshold,
+	}
+}
+
+// runStreamSmoke is the CI smoke: spawn a real `enframe serve` process, run
+// twin sessions through probability, structural, and window-advance deltas
+// with bitwise identity against the always-full oracle after every push,
+// check the sequence-conflict guard returns 409, close everything, and
+// verify the server leaked no goroutines before draining it with SIGTERM.
+func runStreamSmoke() error {
+	bin, cleanup, err := benchutil.BuildEnframe("")
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	proc, err := benchutil.SpawnListen(bin, "serve", "-addr", "127.0.0.1:0", "-grace", "5s", "-access-log=false")
+	if err != nil {
+		return err
+	}
+	defer proc.Stop()
+	addr := proc.Addr
+	hc := &http.Client{}
+
+	// Warm the process (metrics endpoint, HTTP stack) before the baseline
+	// goroutine reading so transport start-up cost is not counted as a leak.
+	benchutil.FetchCounter(addr, "process.goroutines")
+	baseGoroutines := benchutil.FetchCounter(addr, "process.goroutines")
+	if baseGoroutines <= 0 {
+		return fmt.Errorf("process.goroutines gauge unavailable (got %g)", baseGoroutines)
+	}
+
+	incr, created, err := openStream(hc, addr, streamWorkload(3, 5, -1, 5))
+	if err != nil {
+		return fmt.Errorf("incremental session: %w", err)
+	}
+	full, _, err := openStream(hc, addr, streamWorkload(3, 5, 1e-9, 5))
+	if err != nil {
+		return fmt.Errorf("oracle session: %w", err)
+	}
+	if len(created.Windows) != 3 || len(created.Windows[0].Vars) == 0 {
+		return fmt.Errorf("create returned %d windows", len(created.Windows))
+	}
+	if active := benchutil.FetchCounter(addr, "stream.sessions.active"); active != 2 {
+		return fmt.Errorf("stream.sessions.active = %g with two open sessions", active)
+	}
+	v := created.Windows[0].Vars[0]
+
+	// Probability-only delta: the incremental session must replay the
+	// memoized circuit without re-grounding anything.
+	p := 0.35
+	iResp, _, _, err := twinPush(incr, full, []stream.Delta{{Op: stream.OpProb, Var: v, P: &p}}, "prob push")
+	if err != nil {
+		return err
+	}
+	if iResp.Stats == nil || iResp.Stats.Replayed < 1 || iResp.Stats.Reground != 0 || iResp.Stats.Full {
+		return fmt.Errorf("prob push did not take the replay fast path: %+v", iResp.Stats)
+	}
+
+	// Structural delta: the oracle must recompile everything from scratch,
+	// the incremental session must touch exactly one segment.
+	batch := incr.churnBatch(0.6)
+	full.nextIns = incr.nextIns
+	iResp, fResp, _, err := twinPush(incr, full, batch, "structural push")
+	if err != nil {
+		return err
+	}
+	if fResp.Stats == nil || !fResp.Stats.Full {
+		return fmt.Errorf("oracle session did not fall back to a full recompile: %+v", fResp.Stats)
+	}
+	if iResp.Stats == nil || iResp.Stats.Full || iResp.Stats.Reground != 1 {
+		return fmt.Errorf("incremental session reground %d segments (want 1, not full): %+v",
+			iResp.Stats.Reground, iResp.Stats)
+	}
+
+	// Window advance plus activity against the freshly admitted segment.
+	if _, _, _, err := twinPush(incr, full, []stream.Delta{{Op: stream.OpAdvance, N: 1}}, "advance"); err != nil {
+		return err
+	}
+	incr.nextIns, full.nextIns = 5, 5 // newest window is fresh: ids restart at segment_n
+	p2 := 0.8
+	if _, _, _, err := twinPush(incr, full, []stream.Delta{{Op: stream.OpProb, Var: v, P: &p2}}, "post-advance prob"); err != nil {
+		return err
+	}
+	batch = incr.churnBatch(0.4)
+	full.nextIns = incr.nextIns
+	if _, _, _, err := twinPush(incr, full, batch, "post-advance structural"); err != nil {
+		return err
+	}
+
+	// Duplicate delivery: replaying the last push at its stale base sequence
+	// must be rejected with 409 and the session's current sequence.
+	status, _, raw, err := streamPost(hc, addr, server.StreamRequest{
+		Op: "push", SessionID: incr.id, BaseSeq: incr.seq - uint64(len(batch)), Deltas: batch,
+	})
+	if err != nil {
+		return err
+	}
+	if status != http.StatusConflict {
+		return fmt.Errorf("duplicate push: status %d, want 409", status)
+	}
+	var conflict struct {
+		Seq uint64 `json:"seq"`
+	}
+	if err := json.Unmarshal(raw, &conflict); err != nil || conflict.Seq != incr.seq {
+		return fmt.Errorf("409 body %q does not carry the session seq %d", raw, incr.seq)
+	}
+	if n := benchutil.FetchCounter(addr, "stream.seq_conflicts"); n != 1 {
+		return fmt.Errorf("stream.seq_conflicts = %g, want 1", n)
+	}
+
+	if err := incr.close(); err != nil {
+		return err
+	}
+	if err := full.close(); err != nil {
+		return err
+	}
+	if active := benchutil.FetchCounter(addr, "stream.sessions.active"); active != 0 {
+		return fmt.Errorf("stream.sessions.active = %g after closing both sessions", active)
+	}
+
+	// Goroutine-leak check: sessions hold no goroutines, so after closing
+	// them and releasing our keep-alive connections the server must be back
+	// at (about) its baseline. The slack absorbs transient HTTP conns.
+	hc.CloseIdleConnections()
+	time.Sleep(200 * time.Millisecond)
+	afterGoroutines := benchutil.FetchCounter(addr, "process.goroutines")
+	if afterGoroutines > baseGoroutines+8 {
+		return fmt.Errorf("goroutines grew %g -> %g after session close (leak)", baseGoroutines, afterGoroutines)
+	}
+
+	fmt.Printf("stream-smoke ok: 5 twin pushes bitwise-identical to the full-recompile oracle, 409 on duplicate, goroutines %g -> %g\n",
+		baseGoroutines, afterGoroutines)
+	return nil
+}
+
+// streamPct computes a nearest-rank percentile over a float sample set.
+func streamPct(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// benchStream measures streaming update latency against addr and writes the
+// snapshot to -out. Three measured populations, all server-side ApplyMs:
+//
+//   - prob: probability-only pushes on the incremental session (circuit
+//     replay of one segment, zero recompilation);
+//   - incremental structural: churn batches on the incremental session (one
+//     segment re-ground + re-traced out of segments);
+//   - full recompile: the same churn batches on the always-full oracle
+//     session — every segment re-ground from scratch, the warm
+//     full-recompilation baseline both gates divide by.
+func benchStream(addr string) error {
+	const (
+		segments = 8
+		segmentN = 12
+		warmups  = 2
+		probRuns = 40
+		strRuns  = 12
+	)
+	hc := &http.Client{}
+
+	incr, created, err := openStream(hc, addr, streamWorkload(segments, segmentN, -1, 7))
+	if err != nil {
+		return fmt.Errorf("incremental session: %w", err)
+	}
+	full, _, err := openStream(hc, addr, streamWorkload(segments, segmentN, 1e-9, 7))
+	if err != nil {
+		return fmt.Errorf("oracle session: %w", err)
+	}
+	v := created.Windows[0].Vars[0]
+
+	pushProb := func(p float64) (server.StreamResponse, time.Duration, error) {
+		resp, _, rtt, err := twinPush(incr, full, []stream.Delta{{Op: stream.OpProb, Var: v, P: &p}}, "prob push")
+		return resp, rtt, err
+	}
+	pushChurn := func(p float64) (server.StreamResponse, server.StreamResponse, error) {
+		batch := incr.churnBatch(p)
+		full.nextIns = incr.nextIns
+		iResp, fResp, _, err := twinPush(incr, full, batch, "structural push")
+		return iResp, fResp, err
+	}
+
+	for i := 0; i < warmups; i++ {
+		if _, _, err := pushProb(0.3 + 0.01*float64(i)); err != nil {
+			return err
+		}
+		if _, _, err := pushChurn(0.5); err != nil {
+			return err
+		}
+	}
+
+	var probMs, probRttMs []float64
+	for i := 0; i < probRuns; i++ {
+		resp, rtt, err := pushProb(0.05 + 0.9*float64(i)/float64(probRuns-1))
+		if err != nil {
+			return err
+		}
+		if resp.Stats.Reground != 0 || resp.Stats.Retraced != 0 || resp.Stats.Full {
+			return fmt.Errorf("prob push %d recompiled: %+v", i, resp.Stats)
+		}
+		probMs = append(probMs, resp.Stats.ApplyMs)
+		probRttMs = append(probRttMs, benchutil.Ms(rtt))
+	}
+
+	var incrStructMs, fullStructMs, structRttMs []float64
+	for i := 0; i < strRuns; i++ {
+		start := time.Now()
+		iResp, fResp, err := pushChurn(0.2 + 0.05*float64(i))
+		if err != nil {
+			return err
+		}
+		if iResp.Stats.Full || iResp.Stats.Reground != 1 {
+			return fmt.Errorf("structural push %d was not incremental: %+v", i, iResp.Stats)
+		}
+		if !fResp.Stats.Full || fResp.Stats.Reground != segments {
+			return fmt.Errorf("oracle push %d did not recompile all %d segments: %+v", i, segments, fResp.Stats)
+		}
+		incrStructMs = append(incrStructMs, iResp.Stats.ApplyMs)
+		fullStructMs = append(fullStructMs, fResp.Stats.ApplyMs)
+		structRttMs = append(structRttMs, benchutil.Ms(time.Since(start)))
+	}
+
+	if err := incr.close(); err != nil {
+		return err
+	}
+	if err := full.close(); err != nil {
+		return err
+	}
+
+	recompileMs := benchutil.Median(fullStructMs)
+	probMedian := benchutil.Median(probMs)
+	structMedian := benchutil.Median(incrStructMs)
+	probSpeedup := recompileMs / probMedian
+	structSpeedup := recompileMs / structMedian
+
+	out := map[string]any{
+		"workload": map[string]any{
+			"program": "kmedoids", "k": 2, "iter": 2,
+			"segments": segments, "segment_n": segmentN, "group": 2,
+			"prob_pushes": probRuns, "structural_pushes": strRuns,
+		},
+		"prob_update_ms": map[string]float64{
+			"p50": streamPct(probMs, 50), "p95": streamPct(probMs, 95), "p99": streamPct(probMs, 99),
+		},
+		"prob_rtt_ms": map[string]float64{
+			"p50": streamPct(probRttMs, 50), "p95": streamPct(probRttMs, 95),
+		},
+		"structural_update_ms": map[string]float64{
+			"p50": streamPct(incrStructMs, 50), "p95": streamPct(incrStructMs, 95), "p99": streamPct(incrStructMs, 99),
+		},
+		"structural_rtt_ms": map[string]float64{
+			"p50": streamPct(structRttMs, 50), "p95": streamPct(structRttMs, 95),
+		},
+		"full_recompile_ms":      recompileMs,
+		"prob_speedup":           probSpeedup,
+		"prob_speedup_floor":     streamProbSpeedupFloor,
+		"struct_speedup":         structSpeedup,
+		"struct_speedup_floor":   streamStructSpeedupFloor,
+		"oracle_identity_pushes": warmups*2 + probRuns + strRuns,
+		"server": map[string]float64{
+			"stream.pushes":            benchutil.FetchCounter(addr, "stream.pushes"),
+			"stream.segment.replays":   benchutil.FetchCounter(addr, "stream.segment.replays"),
+			"stream.segment.regrounds": benchutil.FetchCounter(addr, "stream.segment.regrounds"),
+			"stream.segment.retraces":  benchutil.FetchCounter(addr, "stream.segment.retraces"),
+			"stream.full_recompiles":   benchutil.FetchCounter(addr, "stream.full_recompiles"),
+		},
+	}
+	if err := benchutil.WriteJSON(*outFlag, out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: prob update p50 %.3fms (%.0f× vs %.1fms full recompile), structural p50 %.2fms (%.1f×)\n",
+		*outFlag, probMedian, probSpeedup, recompileMs, structMedian, structSpeedup)
+	if probSpeedup < streamProbSpeedupFloor {
+		return fmt.Errorf("prob-update speedup %.1f× below the %.0f× floor", probSpeedup, streamProbSpeedupFloor)
+	}
+	if structSpeedup < streamStructSpeedupFloor {
+		return fmt.Errorf("structural speedup %.1f× below the %.0f× floor", structSpeedup, streamStructSpeedupFloor)
+	}
+	return nil
+}

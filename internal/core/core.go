@@ -30,6 +30,12 @@ import (
 type Spec struct {
 	// Source is the user program text.
 	Source string
+	// Parsed, when non-nil, is the already parsed form of Source; the
+	// pipeline then skips lexing and parsing entirely. Long-lived callers
+	// that re-ground the same program against mutating data — the streaming
+	// data plane re-grounds a window segment on every structural delta —
+	// parse once and reuse the AST (it is immutable after parsing).
+	Parsed *lang.Program
 	// Objects are the uncertain input data points backing loadData();
 	// Space is the variable space their lineage ranges over.
 	Objects []lineage.Object
@@ -163,23 +169,26 @@ func PrepareContext(ctx context.Context, spec Spec) (*Artifact, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 
-	tLex := time.Now()
-	lexSpan := root.Start("lex")
-	toks, err := lang.Tokens(spec.Source)
-	lexSpan.SetInt("tokens", int64(len(toks)))
-	lexSpan.End()
-	tm.Lex = time.Since(tLex)
-	if err != nil {
-		return nil, fmt.Errorf("core: lex: %w", err)
-	}
+	prog := spec.Parsed
+	if prog == nil {
+		tLex := time.Now()
+		lexSpan := root.Start("lex")
+		toks, err := lang.Tokens(spec.Source)
+		lexSpan.SetInt("tokens", int64(len(toks)))
+		lexSpan.End()
+		tm.Lex = time.Since(tLex)
+		if err != nil {
+			return nil, fmt.Errorf("core: lex: %w", err)
+		}
 
-	tParse := time.Now()
-	parseSpan := root.Start("parse")
-	prog, err := lang.ParseTokens(toks)
-	parseSpan.End()
-	tm.Parse = time.Since(tParse)
-	if err != nil {
-		return nil, fmt.Errorf("core: parse: %w", err)
+		tParse := time.Now()
+		parseSpan := root.Start("parse")
+		prog, err = lang.ParseTokens(toks)
+		parseSpan.End()
+		tm.Parse = time.Since(tParse)
+		if err != nil {
+			return nil, fmt.Errorf("core: parse: %w", err)
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -350,6 +359,23 @@ func (a *Artifact) Circuit(ctx context.Context, opts prob.Options) (*circuit.Cir
 		close(call.done)
 		return c, res, false, err
 	}
+}
+
+// InvalidateCircuits drops every memoized circuit and variable order from
+// the artifact. An Artifact itself is immutable, so ordinary callers never
+// need this; it exists for owners that REPLACE an artifact behind a stable
+// handle (a streaming session rebuilding a window segment's network after a
+// structural delta) and must guarantee that no stale memoized circuit —
+// traced over the pre-delta network — can ever serve a replay query again.
+// In-flight Circuit calls complete against the old memo entries they hold;
+// calls arriving after InvalidateCircuits returns re-trace.
+func (a *Artifact) InvalidateCircuits() {
+	a.ordersMu.Lock()
+	a.orders = nil
+	a.ordersMu.Unlock()
+	a.circuitsMu.Lock()
+	a.circuits = nil
+	a.circuitsMu.Unlock()
 }
 
 // CompileContext computes probabilities on the prepared network with fresh

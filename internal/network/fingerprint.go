@@ -1,0 +1,88 @@
+package network
+
+import (
+	"math"
+
+	"enframe/internal/event"
+)
+
+// Fingerprint returns a structural content hash of the network: node kinds,
+// payloads, child lists, targets, and the variable-space size. Two networks
+// with equal fingerprints ground the same program state — node for node,
+// id for id — so a decision circuit traced over one replays identically
+// over the other. The streaming data plane uses this for dirty-subtree
+// detection: a window segment whose re-grounded network fingerprints equal
+// to its previous build keeps its consed circuit instead of re-tracing.
+//
+// The hash is FNV-1a over the dense node arrays in id order. Builds are
+// deterministic (the fused emitter visits the program in evaluation order
+// and hash-consing assigns dense ids in first-construction order), so two
+// builds from identical program state produce identical arrays and hence
+// identical fingerprints; no canonical graph hashing is needed.
+func Fingerprint(n *Net) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mixStr := func(s string) {
+		mix(uint64(len(s)))
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+	}
+	mix(uint64(n.Space.Len()))
+	mix(uint64(len(n.Nodes)))
+	for i := range n.Nodes {
+		nd := &n.Nodes[i]
+		mix(uint64(nd.Kind))
+		switch nd.Kind {
+		case KVar:
+			mix(uint64(nd.Var))
+		case KConst:
+			mix(b2u(nd.B))
+		case KCmp:
+			mix(uint64(nd.Op))
+		case KPow:
+			mix(uint64(int64(nd.Exp)))
+		case KCondVal:
+			mix(uint64(nd.Val.Kind))
+			switch nd.Val.Kind {
+			case event.Scalar:
+				mix(math.Float64bits(nd.Val.S))
+			case event.Vector:
+				mix(uint64(len(nd.Val.V)))
+				for _, x := range nd.Val.V {
+					mix(math.Float64bits(x))
+				}
+			case event.Boolean:
+				mix(b2u(nd.Val.B))
+			}
+		}
+		mix(uint64(len(nd.Kids)))
+		for _, k := range nd.Kids {
+			mix(uint64(uint32(k)))
+		}
+	}
+	mix(uint64(len(n.Targets)))
+	for _, t := range n.Targets {
+		mixStr(t.Name)
+		mix(uint64(uint32(t.Node)))
+	}
+	return h
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

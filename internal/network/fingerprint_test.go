@@ -1,0 +1,82 @@
+package network
+
+import (
+	"testing"
+
+	"enframe/internal/event"
+)
+
+// buildFPNet grounds a tiny two-target network; perturb hooks let each case
+// vary one ingredient.
+func buildFPNet(p1 float64, exp int, targetName string) *Net {
+	sp := event.NewSpace()
+	x := sp.Add("x", p1)
+	y := sp.Add("y", 0.5)
+	b := NewBuilder(sp, nil)
+	vx, vy := b.Var(x), b.Var(y)
+	sum := b.Sum(b.CondVal(vx, event.Num(2)), b.CondVal(vy, event.Num(3)))
+	cmp := b.Cmp(event.LT, sum, b.ConstNum(event.Num(4)))
+	b.Target(targetName, b.And(vx, cmp))
+	b.Target("t2", b.Or(vx, vy))
+	_ = b.Pow(sum, exp) // swept away unless reachable
+	return b.Build()
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := Fingerprint(buildFPNet(0.5, 2, "t1"))
+	b := Fingerprint(buildFPNet(0.5, 2, "t1"))
+	if a != b {
+		t.Fatalf("identical builds fingerprint differently: %x vs %x", a, b)
+	}
+}
+
+func TestFingerprintIgnoresProbabilities(t *testing.T) {
+	// Marginal probabilities are replay inputs, not structure: a circuit
+	// traced over the network is valid for any assignment, so the
+	// fingerprint must not move when only probabilities change.
+	a := Fingerprint(buildFPNet(0.5, 2, "t1"))
+	b := Fingerprint(buildFPNet(0.7, 2, "t1"))
+	if a != b {
+		t.Fatalf("probability change moved the fingerprint")
+	}
+}
+
+func TestFingerprintSeesStructureAndTargets(t *testing.T) {
+	base := Fingerprint(buildFPNet(0.5, 2, "t1"))
+	if got := Fingerprint(buildFPNet(0.5, 2, "renamed")); got == base {
+		t.Fatalf("target rename did not move the fingerprint")
+	}
+	// A different constant payload grounds a different network.
+	sp := event.NewSpace()
+	x := sp.Add("x", 0.5)
+	y := sp.Add("y", 0.5)
+	b := NewBuilder(sp, nil)
+	vx, vy := b.Var(x), b.Var(y)
+	sum := b.Sum(b.CondVal(vx, event.Num(2)), b.CondVal(vy, event.Num(99)))
+	cmp := b.Cmp(event.LT, sum, b.ConstNum(event.Num(4)))
+	b.Target("t1", b.And(vx, cmp))
+	b.Target("t2", b.Or(vx, vy))
+	if got := Fingerprint(b.Build()); got == base {
+		t.Fatalf("payload change did not move the fingerprint")
+	}
+}
+
+func TestFingerprintSeesSpaceGrowth(t *testing.T) {
+	// An unused variable does not change the grounded nodes, but it changes
+	// the probability-vector length a circuit replay expects, so it must
+	// move the fingerprint (the stream plane would otherwise reuse a
+	// circuit whose NumVars no longer matches the space).
+	mk := func(extra bool) *Net {
+		sp := event.NewSpace()
+		x := sp.Add("x", 0.5)
+		if extra {
+			sp.Add("unused", 0.5)
+		}
+		b := NewBuilder(sp, nil)
+		b.Target("t", b.Var(x))
+		return b.Build()
+	}
+	if Fingerprint(mk(false)) == Fingerprint(mk(true)) {
+		t.Fatalf("space growth did not move the fingerprint")
+	}
+}

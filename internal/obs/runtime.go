@@ -24,6 +24,29 @@ var runtimeSamples = []struct {
 	{"/cpu/classes/gc/pause:cpu-seconds", "process.gc.pause_total_seconds"},
 }
 
+// SampleRuntime takes one immediate sample of the process runtime gauges.
+// Scrape handlers call it so /metrics answers with the live process state
+// rather than the last background tick — a leak check that scrapes twice in
+// quick succession must see real movement, not a stale sample.
+func (r *Registry) SampleRuntime() {
+	if r == nil {
+		return
+	}
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, rs := range runtimeSamples {
+		samples[i].Name = rs.src
+	}
+	metrics.Read(samples)
+	for i := range samples {
+		switch samples[i].Value.Kind() {
+		case metrics.KindUint64:
+			r.Gauge(runtimeSamples[i].gauge).Set(float64(samples[i].Value.Uint64()))
+		case metrics.KindFloat64:
+			r.Gauge(runtimeSamples[i].gauge).Set(samples[i].Value.Float64())
+		}
+	}
+}
+
 // StartRuntimeCollector samples process runtime gauges (goroutine count,
 // heap bytes, GC cycle and pause totals) into the registry every interval,
 // plus once immediately. It returns a stop function (idempotent). A nil
@@ -35,23 +58,7 @@ func (r *Registry) StartRuntimeCollector(interval time.Duration) (stop func()) {
 	if interval <= 0 {
 		interval = 10 * time.Second
 	}
-	samples := make([]metrics.Sample, len(runtimeSamples))
-	gauges := make([]*Gauge, len(runtimeSamples))
-	for i, rs := range runtimeSamples {
-		samples[i].Name = rs.src
-		gauges[i] = r.Gauge(rs.gauge)
-	}
-	collect := func() {
-		metrics.Read(samples)
-		for i := range samples {
-			switch samples[i].Value.Kind() {
-			case metrics.KindUint64:
-				gauges[i].Set(float64(samples[i].Value.Uint64()))
-			case metrics.KindFloat64:
-				gauges[i].Set(samples[i].Value.Float64())
-			}
-		}
-	}
+	collect := r.SampleRuntime
 	collect()
 
 	done := make(chan struct{})

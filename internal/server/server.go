@@ -57,6 +57,11 @@ type Config struct {
 	// accept queue. Anonymous requests are exempt. Default: half of
 	// MaxInflight+QueueDepth, minimum 1.
 	TenantQuota int
+	// MaxStreamSessions caps concurrently open /v1/stream sessions;
+	// StreamIdleTimeout is how long an untouched session may linger before
+	// a full registry may evict it. Defaults 64 and 15m.
+	MaxStreamSessions int
+	StreamIdleTimeout time.Duration
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
 	// Registry receives the server metrics; a fresh one is created when
@@ -92,6 +97,12 @@ func (c Config) withDefaults() Config {
 		if c.TenantQuota < 1 {
 			c.TenantQuota = 1
 		}
+	}
+	if c.MaxStreamSessions <= 0 {
+		c.MaxStreamSessions = 64
+	}
+	if c.StreamIdleTimeout <= 0 {
+		c.StreamIdleTimeout = 15 * time.Minute
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
@@ -163,6 +174,22 @@ type Server struct {
 	// mWarm counts /v1/warm requests that resolved an artifact (the shard
 	// router's cache-migration traffic).
 	mWarm *obs.Counter
+
+	// streams is the /v1/stream session registry; the stream.* metrics
+	// expose its traffic (see OBSERVABILITY.md).
+	streams            *streamRegistry
+	mStreamCreated     *obs.Counter
+	mStreamClosed      *obs.Counter
+	mStreamEvicted     *obs.Counter
+	mStreamPushes      *obs.Counter
+	mStreamDeltas      *obs.Counter
+	mStreamSeqConflict *obs.Counter
+	mStreamReplays     *obs.Counter
+	mStreamRetraces    *obs.Counter
+	mStreamRegrounds   *obs.Counter
+	mStreamFull        *obs.Counter
+	gStreamActive      *obs.Gauge
+	hStreamPush        *obs.Histogram
 }
 
 // latencyBucketsMs are the /metrics latency histogram upper bounds.
@@ -218,6 +245,20 @@ func New(cfg Config) *Server {
 		hCircuitEval:   cfg.Registry.Histogram("circuit.eval_ms", evalBucketsMs),
 
 		mWarm: cfg.Registry.Counter("server.warm.requests"),
+
+		streams:            newStreamRegistry(cfg.MaxStreamSessions, cfg.StreamIdleTimeout),
+		mStreamCreated:     cfg.Registry.Counter("stream.sessions.created"),
+		mStreamClosed:      cfg.Registry.Counter("stream.sessions.closed"),
+		mStreamEvicted:     cfg.Registry.Counter("stream.sessions.evicted"),
+		mStreamPushes:      cfg.Registry.Counter("stream.pushes"),
+		mStreamDeltas:      cfg.Registry.Counter("stream.deltas"),
+		mStreamSeqConflict: cfg.Registry.Counter("stream.seq_conflicts"),
+		mStreamReplays:     cfg.Registry.Counter("stream.segment.replays"),
+		mStreamRetraces:    cfg.Registry.Counter("stream.segment.retraces"),
+		mStreamRegrounds:   cfg.Registry.Counter("stream.segment.regrounds"),
+		mStreamFull:        cfg.Registry.Counter("stream.full_recompiles"),
+		gStreamActive:      cfg.Registry.Gauge("stream.sessions.active"),
+		hStreamPush:        cfg.Registry.Histogram("stream.push_ms", latencyBucketsMs),
 	}
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
@@ -232,6 +273,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/whatif", s.handleWhatif)
+	mux.HandleFunc("/v1/stream", s.handleStream)
 	mux.HandleFunc("/v1/warm", s.handleWarm)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -296,6 +338,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		delete(s.pools, key)
 	}
 	s.poolsMu.Unlock()
+	// Streaming sessions are plain state (no goroutines); dropping the
+	// registry releases them.
+	s.streams.clear()
+	s.gStreamActive.Set(0)
 	return err
 }
 
@@ -333,6 +379,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // so every /metrics endpoint in the fleet — serve shards and the shard
 // router — shares one contract.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reg.SampleRuntime() // scrape answers must reflect the live process
 	obs.WriteMetricsHTTP(s.reg, w, r)
 }
 

@@ -1,0 +1,265 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+	"time"
+
+	"enframe/internal/stream"
+)
+
+func postStream(t *testing.T, client *http.Client, addr string, req StreamRequest) (int, StreamResponse, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post("http://"+addr+"/v1/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/stream: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	var out StreamResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+			t.Fatalf("bad response JSON: %v\n%s", err, buf.Bytes())
+		}
+	}
+	return resp.StatusCode, out, buf.Bytes()
+}
+
+func smallStreamConfig() *stream.Config {
+	return &stream.Config{
+		Program:  "kmedoids",
+		K:        2,
+		Iter:     2,
+		Segments: 3,
+		SegmentN: 5,
+		Group:    2,
+		Seed:     5,
+	}
+}
+
+func pf(v float64) *float64 { return &v }
+func pw(v int64) *int64     { return &v }
+
+func TestStreamSessionLifecycle(t *testing.T) {
+	s := startTestServer(t, Config{})
+	client := &http.Client{}
+
+	status, created, raw := postStream(t, client, s.Addr(), StreamRequest{
+		Op: "create", Config: smallStreamConfig(),
+	})
+	if status != http.StatusOK {
+		t.Fatalf("create: status %d: %s", status, raw)
+	}
+	if created.SessionID == "" || created.Seq != 0 {
+		t.Fatalf("create: bad response %+v", created)
+	}
+	if len(created.Windows) != 3 || len(created.Marginals) == 0 {
+		t.Fatalf("create: windows/marginals missing: %+v", created)
+	}
+
+	// Push a probability delta addressed at a real variable.
+	v := created.Windows[0].Vars[0]
+	status, pushed, raw := postStream(t, client, s.Addr(), StreamRequest{
+		Op: "push", SessionID: created.SessionID, BaseSeq: 0,
+		Deltas: []stream.Delta{{Op: stream.OpProb, Window: pw(created.Windows[0].Window), Var: v, P: pf(0.33)}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("push: status %d: %s", status, raw)
+	}
+	if pushed.Seq != 1 || pushed.Stats == nil || pushed.Stats.Replayed != 1 {
+		t.Fatalf("push: %+v / %+v", pushed, pushed.Stats)
+	}
+
+	// Query returns the same state.
+	status, queried, raw := postStream(t, client, s.Addr(), StreamRequest{
+		Op: "query", SessionID: created.SessionID,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("query: status %d: %s", status, raw)
+	}
+	if queried.Seq != 1 {
+		t.Fatalf("query: seq %d, want 1", queried.Seq)
+	}
+	for i := range queried.Marginals {
+		if math.Float64bits(queried.Marginals[i].Lower) != math.Float64bits(pushed.Marginals[i].Lower) {
+			t.Fatalf("query marginals diverge from push response")
+		}
+	}
+
+	// Close, then the session is gone.
+	status, closed, raw := postStream(t, client, s.Addr(), StreamRequest{
+		Op: "close", SessionID: created.SessionID,
+	})
+	if status != http.StatusOK || !closed.Closed {
+		t.Fatalf("close: status %d: %s", status, raw)
+	}
+	status, _, _ = postStream(t, client, s.Addr(), StreamRequest{
+		Op: "query", SessionID: created.SessionID,
+	})
+	if status != http.StatusNotFound {
+		t.Fatalf("query after close: status %d, want 404", status)
+	}
+}
+
+func TestStreamSeqConflictIs409(t *testing.T) {
+	s := startTestServer(t, Config{})
+	client := &http.Client{}
+	_, created, _ := postStream(t, client, s.Addr(), StreamRequest{Op: "create", Config: smallStreamConfig()})
+	v := created.Windows[0].Vars[0]
+	d := []stream.Delta{{Op: stream.OpProb, Window: pw(created.Windows[0].Window), Var: v, P: pf(0.5)}}
+
+	status, _, _ := postStream(t, client, s.Addr(), StreamRequest{
+		Op: "push", SessionID: created.SessionID, BaseSeq: 0, Deltas: d,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("first push: status %d", status)
+	}
+	// Replaying the same push (same base_seq) must 409 and carry the seq to
+	// resume from.
+	status, _, raw := postStream(t, client, s.Addr(), StreamRequest{
+		Op: "push", SessionID: created.SessionID, BaseSeq: 0, Deltas: d,
+	})
+	if status != http.StatusConflict {
+		t.Fatalf("duplicate push: status %d, want 409: %s", status, raw)
+	}
+	var conflict streamSeqConflict
+	if err := json.Unmarshal(raw, &conflict); err != nil || conflict.Seq != 1 {
+		t.Fatalf("conflict body should carry seq=1: %s", raw)
+	}
+	if got := s.reg.Counter("stream.seq_conflicts").Value(); got != 1 {
+		t.Fatalf("stream.seq_conflicts = %d, want 1", got)
+	}
+}
+
+// TestStreamStructuralDeltaServesFreshCircuit is the stale-circuit
+// regression: a structural delta must invalidate the segment's memoized
+// circuit, so a following query reflects the new structure instead of
+// replaying the stale one. The inserted tuple carries probability 1 at the
+// position of an existing certain point, which measurably moves the
+// cluster-membership marginals.
+func TestStreamStructuralDeltaServesFreshCircuit(t *testing.T) {
+	s := startTestServer(t, Config{})
+	client := &http.Client{}
+	cfg := smallStreamConfig()
+	cfg.Segments = 4 // keep the dirty fraction below the full-rebuild threshold
+	_, created, _ := postStream(t, client, s.Addr(), StreamRequest{Op: "create", Config: cfg})
+
+	w := created.Windows[1].Window
+	before := map[string]float64{}
+	for _, m := range created.Marginals {
+		if m.Window == w {
+			before[m.Name] = m.Lower
+		}
+	}
+
+	// Pile three confident tuples onto one spot of window w.
+	var deltas []stream.Delta
+	for i := 0; i < 3; i++ {
+		deltas = append(deltas, stream.Delta{
+			Op: stream.OpInsert, Window: pw(w), Pos: []float64{0.95, 0.95}, P: pf(1),
+		})
+	}
+	status, pushed, raw := postStream(t, client, s.Addr(), StreamRequest{
+		Op: "push", SessionID: created.SessionID, BaseSeq: 0, Deltas: deltas,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("push: status %d: %s", status, raw)
+	}
+	if pushed.Stats.Retraced == 0 {
+		t.Fatalf("structural delta did not re-trace any segment: %+v", pushed.Stats)
+	}
+
+	// The replayed query must serve the fresh circuit's marginals.
+	_, queried, _ := postStream(t, client, s.Addr(), StreamRequest{Op: "query", SessionID: created.SessionID})
+	moved := false
+	for _, m := range queried.Marginals {
+		if m.Window != w {
+			continue
+		}
+		if old, ok := before[m.Name]; ok && math.Float64bits(old) != math.Float64bits(m.Lower) {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatalf("marginals of window %d did not move after structural deltas (stale circuit?)", w)
+	}
+	// And they must match the push response exactly (replay determinism).
+	for i := range queried.Marginals {
+		if math.Float64bits(queried.Marginals[i].Lower) != math.Float64bits(pushed.Marginals[i].Lower) {
+			t.Fatalf("query and push marginals diverge at %d", i)
+		}
+	}
+}
+
+func TestStreamValidationAndRouting(t *testing.T) {
+	s := startTestServer(t, Config{})
+	client := &http.Client{}
+
+	// Unknown session: 404.
+	status, _, _ := postStream(t, client, s.Addr(), StreamRequest{Op: "push", SessionID: "nope"})
+	if status != http.StatusNotFound {
+		t.Fatalf("push to unknown session: status %d, want 404", status)
+	}
+	// Unknown op: 400.
+	status, _, _ = postStream(t, client, s.Addr(), StreamRequest{Op: "mutate"})
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown op: status %d, want 400", status)
+	}
+	// Bad config: 400.
+	status, _, _ = postStream(t, client, s.Addr(), StreamRequest{
+		Op: "create", Config: &stream.Config{Program: "mcl"},
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("mcl create: status %d, want 400", status)
+	}
+	// Bad delta batch: 400, and the session survives.
+	_, created, _ := postStream(t, client, s.Addr(), StreamRequest{Op: "create", Config: smallStreamConfig()})
+	status, _, _ = postStream(t, client, s.Addr(), StreamRequest{
+		Op: "push", SessionID: created.SessionID, BaseSeq: 0,
+		Deltas: []stream.Delta{{Op: stream.OpProb, Var: "no-such-var", P: pf(0.5)}},
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad delta: status %d, want 400", status)
+	}
+	status, q, _ := postStream(t, client, s.Addr(), StreamRequest{Op: "query", SessionID: created.SessionID})
+	if status != http.StatusOK || q.Seq != 0 {
+		t.Fatalf("session state moved after rejected batch: status %d seq %d", status, q.Seq)
+	}
+}
+
+func TestStreamRegistryCapAndEviction(t *testing.T) {
+	s := startTestServer(t, Config{MaxStreamSessions: 2, StreamIdleTimeout: 50 * time.Millisecond})
+	client := &http.Client{}
+	mk := func() (int, StreamResponse) {
+		st, resp, _ := postStream(t, client, s.Addr(), StreamRequest{Op: "create", Config: smallStreamConfig()})
+		return st, resp
+	}
+	if st, _ := mk(); st != http.StatusOK {
+		t.Fatalf("create 1: %d", st)
+	}
+	if st, _ := mk(); st != http.StatusOK {
+		t.Fatalf("create 2: %d", st)
+	}
+	// Registry full, nothing idle yet: 429.
+	if st, _ := mk(); st != http.StatusTooManyRequests {
+		t.Fatalf("create at cap: status %d, want 429", st)
+	}
+	// After the idle timeout, creation evicts and succeeds.
+	time.Sleep(60 * time.Millisecond)
+	if st, _ := mk(); st != http.StatusOK {
+		t.Fatalf("create after idle: %d", st)
+	}
+	if s.reg.Counter("stream.sessions.evicted").Value() == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}

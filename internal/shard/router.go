@@ -80,6 +80,7 @@ type Router struct {
 	mSpills     *obs.Counter
 	mNoShard    *obs.Counter
 	mBadRequest *obs.Counter
+	mStreams    *obs.Counter
 	mMoves      *obs.Counter
 	mWarmSent   *obs.Counter
 	mWarmErrors *obs.Counter
@@ -122,6 +123,7 @@ func NewRouter(cfg RouterConfig) *Router {
 		mSpills:     cfg.Registry.Counter("shard.route.spills"),
 		mNoShard:    cfg.Registry.Counter("shard.route.no_shard"),
 		mBadRequest: cfg.Registry.Counter("shard.route.bad_request"),
+		mStreams:    cfg.Registry.Counter("shard.route.streams"),
 		mMoves:      cfg.Registry.Counter("shard.ring.moves"),
 		mWarmSent:   cfg.Registry.Counter("shard.warm.sent"),
 		mWarmErrors: cfg.Registry.Counter("shard.warm.errors"),
@@ -150,6 +152,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/run", rt.handleRoute)
 	mux.HandleFunc("/v1/whatif", rt.handleRoute)
 	mux.HandleFunc("/v1/warm", rt.handleRoute)
+	mux.HandleFunc("/v1/stream", rt.handleStreamRoute)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -305,6 +308,81 @@ func (rt *Router) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	release()
 	writeRouteError(w, http.StatusBadGateway, "all %d owner shards unreachable for key %s", tried, key[:16])
+}
+
+// handleStreamRoute pins /v1/stream traffic to one shard per session:
+// streaming sessions are stateful and shard-local, so the router hashes
+// "stream:<session_id>" onto the ring and always forwards to the key's
+// primary owner — no bounded-load spill and no failover (another shard
+// would answer 404, or worse, silently fork the session). An anonymous
+// "create" gets its session id minted here, so the routing key exists
+// before the session does and every later verb hashes to the same shard.
+func (rt *Router) handleStreamRoute(w http.ResponseWriter, r *http.Request) {
+	rt.mRequests.Inc()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeRouteError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		rt.mBadRequest.Inc()
+		writeRouteError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var sreq server.StreamRequest
+	if err := dec.Decode(&sreq); err != nil {
+		rt.mBadRequest.Inc()
+		writeRouteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if sreq.SessionID == "" {
+		if sreq.Op != "create" {
+			rt.mBadRequest.Inc()
+			writeRouteError(w, http.StatusBadRequest, "op %q needs a session_id", sreq.Op)
+			return
+		}
+		sreq.SessionID = server.NewStreamSessionID()
+		if body, err = json.Marshal(sreq); err != nil {
+			writeRouteError(w, http.StatusInternalServerError, "re-encode request: %v", err)
+			return
+		}
+	}
+	key := "stream:" + sreq.SessionID
+
+	rt.mu.Lock()
+	owners := rt.ring.Owners(key, 1)
+	var addr string
+	if len(owners) > 0 {
+		addr = owners[0]
+		rt.inflight[addr]++
+		rt.total++
+	}
+	rt.mu.Unlock()
+	if addr == "" {
+		rt.mNoShard.Inc()
+		writeRouteError(w, http.StatusServiceUnavailable, "no shards on the ring")
+		return
+	}
+	defer func() {
+		rt.mu.Lock()
+		rt.inflight[addr]--
+		rt.total--
+		rt.mu.Unlock()
+	}()
+
+	resp, ferr := rt.forward(r, addr, body)
+	if ferr != nil {
+		// The session lives only on its owner; an unreachable owner is an
+		// outage for this session, not a failover opportunity.
+		writeRouteError(w, http.StatusBadGateway, "session shard %s unreachable: %v", addr, ferr)
+		return
+	}
+	rt.mForwards.Inc()
+	rt.mStreams.Inc()
+	copyResponse(w, resp, addr)
 }
 
 // orderedFrom returns owners starting at addr, preserving preference order

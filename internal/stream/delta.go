@@ -1,0 +1,266 @@
+package stream
+
+import (
+	"fmt"
+
+	"enframe/internal/event"
+	"enframe/internal/lineage"
+	"enframe/internal/vec"
+)
+
+// Delta is one entry of a session's append-only delta log. Ops:
+//
+//   - "prob":    set Pr[Var = true] = *P in segment Window. Never structural:
+//     the segment's consed circuit replays at the new probabilities.
+//   - "insert":  append a tuple at Pos to segment Window, backed by a fresh
+//     independent random variable with Pr = *P. Structural.
+//   - "delete":  remove tuple ID from segment Window. Structural.
+//   - "advance": slide the window by N segments — retire the N oldest, admit
+//     N fresh segments from the deterministic feed. Structural for the
+//     admitted segments only.
+//
+// Window selects the target segment by its window index; nil means the
+// newest live segment. Deltas are validated as a batch before any state
+// mutates, so a rejected batch leaves the session untouched.
+type Delta struct {
+	Op     string    `json:"op"`
+	Window *int64    `json:"window,omitempty"`
+	Var    string    `json:"var,omitempty"`
+	P      *float64  `json:"p,omitempty"`
+	Pos    []float64 `json:"pos,omitempty"`
+	ID     int       `json:"id,omitempty"`
+	N      int       `json:"n,omitempty"`
+}
+
+// Delta op names.
+const (
+	OpProb    = "prob"
+	OpInsert  = "insert"
+	OpDelete  = "delete"
+	OpAdvance = "advance"
+)
+
+// SeqError rejects a push whose base sequence number does not match the
+// session's current sequence — the duplicate/out-of-order delivery guard.
+// Want is the only acceptable base; Got is what the client sent.
+type SeqError struct {
+	Want, Got uint64
+}
+
+func (e *SeqError) Error() string {
+	return fmt.Sprintf("stream: base_seq %d does not match session seq %d (duplicate or out-of-order push)", e.Got, e.Want)
+}
+
+// ValidationError marks a rejected delta batch: the client sent something
+// malformed, not the session failing. Servers map it to 400.
+type ValidationError struct{ Err error }
+
+func (e *ValidationError) Error() string { return e.Err.Error() }
+func (e *ValidationError) Unwrap() error { return e.Err }
+
+// maxAdvancePerBatch bounds how far one batch may slide the window.
+const maxAdvancePerBatch = 64
+
+// simSeg tracks the simulated mutable state of one segment during batch
+// validation: enough to decide id/var existence and size bounds without
+// touching the real segment.
+type simSeg struct {
+	live   map[int]bool    // current tuple ids
+	vars   map[string]bool // current variable names
+	nextID int
+}
+
+func newSimSeg(seg *segment) *simSeg {
+	ss := &simSeg{
+		live:   make(map[int]bool, len(seg.objs)),
+		vars:   make(map[string]bool, len(seg.varIdx)),
+		nextID: seg.nextID,
+	}
+	for _, o := range seg.objs {
+		ss.live[o.ID] = true
+	}
+	for name := range seg.varIdx {
+		ss.vars[name] = true
+	}
+	return ss
+}
+
+// validate simulates the batch against the current session state. It never
+// mutates the session. Deltas may not reference a window admitted by an
+// advance earlier in the same batch (its feed-generated variable names are
+// not materialised yet); push a second batch instead.
+func (s *Session) validate(deltas []Delta) error {
+	if len(deltas) == 0 {
+		return fmt.Errorf("stream: empty delta batch")
+	}
+	wins := make([]int64, len(s.segs))
+	segByWin := make(map[int64]*segment, len(s.segs))
+	for i, seg := range s.segs {
+		wins[i] = seg.window
+		segByWin[seg.window] = seg
+	}
+	sims := map[int64]*simSeg{}
+	simFor := func(w int64) *simSeg {
+		if ss, ok := sims[w]; ok {
+			return ss
+		}
+		ss := newSimSeg(segByWin[w])
+		sims[w] = ss
+		return ss
+	}
+	isLive := func(w int64) bool {
+		for _, lw := range wins {
+			if lw == w {
+				return true
+			}
+		}
+		return false
+	}
+	advanced := 0
+	for i, d := range deltas {
+		resolveWin := func() (int64, error) {
+			if d.Window == nil {
+				w := wins[len(wins)-1]
+				if _, pending := segByWin[w]; !pending {
+					return 0, fmt.Errorf("stream: delta %d: cannot target window %d admitted earlier in this batch; push it in a following batch", i, w)
+				}
+				return w, nil
+			}
+			w := *d.Window
+			if !isLive(w) {
+				return 0, fmt.Errorf("stream: delta %d: window %d is not live (live: %v)", i, w, wins)
+			}
+			if _, materialised := segByWin[w]; !materialised {
+				return 0, fmt.Errorf("stream: delta %d: cannot target window %d admitted earlier in this batch; push it in a following batch", i, w)
+			}
+			return w, nil
+		}
+		switch d.Op {
+		case OpProb:
+			w, err := resolveWin()
+			if err != nil {
+				return err
+			}
+			if d.Var == "" {
+				return fmt.Errorf("stream: delta %d: prob needs var", i)
+			}
+			if d.P == nil || *d.P < 0 || *d.P > 1 {
+				return fmt.Errorf("stream: delta %d: prob needs p in [0, 1]", i)
+			}
+			if !simFor(w).vars[d.Var] {
+				return fmt.Errorf("stream: delta %d: window %d has no variable %q", i, w, d.Var)
+			}
+		case OpInsert:
+			w, err := resolveWin()
+			if err != nil {
+				return err
+			}
+			if len(d.Pos) != feedDim {
+				return fmt.Errorf("stream: delta %d: insert needs a %d-dimensional pos (got %d)", i, feedDim, len(d.Pos))
+			}
+			if d.P == nil || *d.P < 0 || *d.P > 1 {
+				return fmt.Errorf("stream: delta %d: insert needs p in [0, 1]", i)
+			}
+			ss := simFor(w)
+			if len(ss.live) >= s.cfg.MaxSegmentTuples {
+				return fmt.Errorf("stream: delta %d: window %d is full (%d tuples)", i, w, len(ss.live))
+			}
+			ss.live[ss.nextID] = true
+			ss.vars[insertVarName(ss.nextID)] = true
+			ss.nextID++
+		case OpDelete:
+			w, err := resolveWin()
+			if err != nil {
+				return err
+			}
+			ss := simFor(w)
+			if !ss.live[d.ID] {
+				return fmt.Errorf("stream: delta %d: window %d has no tuple %d", i, w, d.ID)
+			}
+			if len(ss.live)-1 < s.cfg.K {
+				return fmt.Errorf("stream: delta %d: window %d cannot drop below k=%d tuples", i, w, s.cfg.K)
+			}
+			delete(ss.live, d.ID)
+		case OpAdvance:
+			n := d.N
+			if n == 0 {
+				n = 1
+			}
+			if n < 1 || advanced+n > maxAdvancePerBatch {
+				return fmt.Errorf("stream: delta %d: advance n must be in [1, %d] per batch", i, maxAdvancePerBatch)
+			}
+			advanced += n
+			for j := 0; j < n; j++ {
+				// Retire the oldest live window, admit a fresh (unmaterialised)
+				// one. Later deltas in this batch cannot address the admission.
+				wins = append(wins[1:], s.nextWindow+int64(advanced-n+j))
+			}
+		default:
+			return fmt.Errorf("stream: delta %d: unknown op %q (want prob, insert, delete, or advance)", i, d.Op)
+		}
+	}
+	return nil
+}
+
+// insertVarName names the fresh variable backing an inserted tuple. The "+"
+// prefix cannot collide with feed-generated lineage variable names.
+func insertVarName(id int) string { return fmt.Sprintf("+v%d", id) }
+
+// apply mutates session state for one validated batch. It cannot fail:
+// everything fallible was checked by validate. Structural mutations mark
+// their segment dirty; probability updates mark it probsDirty.
+func (s *Session) apply(deltas []Delta) {
+	for _, d := range deltas {
+		switch d.Op {
+		case OpProb:
+			seg := s.segFor(d.Window)
+			seg.space.SetProb(seg.varIdx[d.Var], *d.P)
+			seg.probsDirty = true
+		case OpInsert:
+			seg := s.segFor(d.Window)
+			name := insertVarName(seg.nextID)
+			id := seg.space.Add(name, *d.P)
+			seg.varIdx[name] = id
+			seg.objs = append(seg.objs, lineage.Object{
+				ID:      seg.nextID,
+				Pos:     vec.New(d.Pos...),
+				Lineage: event.NewVar(id, name),
+			})
+			seg.nextID++
+			seg.dirty = true
+		case OpDelete:
+			seg := s.segFor(d.Window)
+			for i, o := range seg.objs {
+				if o.ID == d.ID {
+					seg.objs = append(seg.objs[:i], seg.objs[i+1:]...)
+					break
+				}
+			}
+			seg.dirty = true
+		case OpAdvance:
+			n := d.N
+			if n == 0 {
+				n = 1
+			}
+			for j := 0; j < n; j++ {
+				s.segs = s.segs[1:]
+				s.segs = append(s.segs, s.mustSegment(s.nextWindow))
+				s.nextWindow++
+			}
+		}
+	}
+}
+
+// segFor resolves a delta's window reference against live segments; nil
+// means newest. Only called after validation, so the lookup cannot miss.
+func (s *Session) segFor(w *int64) *segment {
+	if w == nil {
+		return s.segs[len(s.segs)-1]
+	}
+	for _, seg := range s.segs {
+		if seg.window == *w {
+			return seg
+		}
+	}
+	panic(fmt.Sprintf("stream: window %d vanished after validation", *w))
+}

@@ -1,0 +1,140 @@
+package stream_test
+
+import (
+	"context"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"enframe/internal/stream"
+)
+
+func ctxb() context.Context { return context.Background() }
+
+// TestSeededDeltaDifftest is the streaming plane's oracle test: a seeded
+// random walk of delta batches against a session, where after every batch
+// the streamed marginals must be byte-identical to recompiling every live
+// window from scratch through the standard pipeline. The walk mixes all
+// four delta ops, boundary probabilities (0 and 1, which force the
+// incomplete-circuit slow path), multi-delta batches, and periodic
+// duplicate/out-of-order pushes that must bounce off the sequence check
+// without perturbing state.
+func TestSeededDeltaDifftest(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		seed := seed
+		t.Run("seed-"+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			t.Parallel()
+			runDifftest(t, seed, 28)
+		})
+	}
+}
+
+func runDifftest(t *testing.T, seed int64, steps int) {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := testConfig()
+	cfg.Seed = seed
+	cfg.Segments = 3
+	s := mustSession(t, cfg)
+	seq := uint64(0)
+
+	randP := func() float64 {
+		switch rng.Intn(6) {
+		case 0:
+			return 0 // boundary: prunes the trace, circuit not memoizable
+		case 1:
+			return 1
+		default:
+			return rng.Float64()
+		}
+	}
+
+	randDelta := func() (stream.Delta, bool) {
+		wins := s.Windows()
+		w := wins[rng.Intn(len(wins))]
+		switch rng.Intn(8) {
+		case 0: // advance, occasionally
+			return stream.Delta{Op: stream.OpAdvance, N: 1 + rng.Intn(2)}, true
+		case 1, 2: // insert
+			ids, err := s.TupleIDs(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ids) >= cfg.MaxSegmentTuples {
+				return stream.Delta{}, false
+			}
+			return stream.Delta{
+				Op: stream.OpInsert, Window: &w,
+				Pos: []float64{rng.Float64(), rng.Float64()},
+				P:   fp(randP()),
+			}, true
+		case 3: // delete
+			ids, err := s.TupleIDs(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ids) <= cfg.K {
+				return stream.Delta{}, false
+			}
+			return stream.Delta{Op: stream.OpDelete, Window: &w, ID: ids[rng.Intn(len(ids))]}, true
+		default: // prob — the common case in a live feed
+			vars, err := s.VarNames(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(vars) == 0 {
+				return stream.Delta{}, false
+			}
+			return stream.Delta{
+				Op: stream.OpProb, Window: &w,
+				Var: vars[rng.Intn(len(vars))], P: fp(randP()),
+			}, true
+		}
+	}
+
+	for step := 0; step < steps; step++ {
+		var batch []stream.Delta
+		n := 1 + rng.Intn(3)
+		hasDelete := false
+		for len(batch) < n {
+			d, ok := randDelta()
+			if !ok {
+				continue
+			}
+			// At most one delete per batch: randDelta's size floor is
+			// checked against session state, so a second delete on the
+			// same window could dip below k and bounce the whole batch.
+			if d.Op == stream.OpDelete {
+				if hasDelete {
+					continue
+				}
+				hasDelete = true
+			}
+			batch = append(batch, d)
+			if d.Op == stream.OpAdvance {
+				break // later deltas could address the admitted window
+			}
+		}
+
+		// Every few steps, first fire a stale or futuristic push; it must
+		// be rejected and must not move the session.
+		if step%5 == 4 {
+			bad := seq + uint64(rng.Intn(3)) + 1
+			if rng.Intn(2) == 0 && seq > 0 {
+				bad = seq - 1
+			}
+			if _, err := s.Apply(ctxb(), bad, batch); err == nil {
+				t.Fatalf("step %d: push with base_seq %d (session at %d) was accepted", step, bad, seq)
+			}
+			if got := s.Seq(); got != seq {
+				t.Fatalf("step %d: rejected push moved seq to %d", step, got)
+			}
+		}
+
+		u, err := s.Apply(ctxb(), seq, batch)
+		if err != nil {
+			t.Fatalf("step %d: apply %+v: %v", step, batch, err)
+		}
+		seq = u.Seq
+		sameMarginals(t, u.Marginals, oracleMarginals(t, s), "difftest step")
+	}
+}
